@@ -1,0 +1,47 @@
+GO ?= go
+
+.PHONY: all build test race cover bench experiments fuzz examples fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Full benchmark suite (writes nothing; tee yourself to record).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the EXPERIMENTS.md tables.
+experiments:
+	$(GO) run ./cmd/benchrun -exp all
+
+# Quick fuzz pass over the three parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/sal/
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/ddl/
+	$(GO) test -fuzz=FuzzCompile -fuzztime=10s ./internal/ssql/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/surveillance
+	$(GO) run ./examples/rssfeeds
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/dashboard
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,536 @@
+// Repository-wide benchmarks: one benchmark per experiment of
+// EXPERIMENTS.md. The paper's own evaluation (Section 5.2) is qualitative;
+// these benchmarks implement the quantitative "benchmark for pervasive
+// environments" its Section 7 names as future work, plus the ablations of
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package serena_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"serena/internal/algebra"
+	"serena/internal/bench"
+	"serena/internal/cq"
+	"serena/internal/device"
+	"serena/internal/discovery"
+	"serena/internal/optimizer"
+	"serena/internal/paperenv"
+	"serena/internal/query"
+	"serena/internal/rewrite"
+	"serena/internal/sal"
+	"serena/internal/schema"
+	"serena/internal/service"
+	"serena/internal/ssql"
+	"serena/internal/stream"
+	"serena/internal/value"
+	"serena/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// B-2: operator throughput. One sub-benchmark per Serena operator over
+// synthetic relations of growing cardinality.
+
+func synthRelation(n int) *algebra.XRelation {
+	sch := schema.MustExtended("r", []schema.ExtAttr{
+		{Attribute: schema.Attribute{Name: "id", Type: value.Int}},
+		{Attribute: schema.Attribute{Name: "grp", Type: value.String}},
+		{Attribute: schema.Attribute{Name: "score", Type: value.Real}},
+		{Attribute: schema.Attribute{Name: "tag", Type: value.String}, Virtual: true},
+	}, nil)
+	rows := make([]value.Tuple, n)
+	for i := 0; i < n; i++ {
+		rows[i] = value.Tuple{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("g%02d", i%16)),
+			value.NewReal(float64(i % 100)),
+		}
+	}
+	return algebra.MustNew(sch, rows)
+}
+
+func BenchmarkOperators(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		r := synthRelation(n)
+		other := synthRelation(n)
+		f := algebra.Compare(algebra.Attr("score"), algebra.Gt, algebra.Const(value.NewReal(50)))
+
+		b.Run(fmt.Sprintf("select/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := algebra.Select(r, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("project/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := algebra.Project(r, []string{"id", "grp"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("join/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := algebra.NaturalJoin(r, other); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("assign/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := algebra.AssignConst(r, "tag", value.NewString("x")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("union/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := algebra.Union(r, other); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInvoke measures the invocation operator over in-process sensor
+// services (no latency injection), per operand cardinality.
+func BenchmarkInvoke(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		env := bench.MustGenerate(bench.Config{Sensors: n, Cameras: 1, Contacts: 1, Locations: 1, Seed: 1})
+		q := query.NewInvoke(query.NewBase("sensors"), "getTemperature", "")
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := query.Evaluate(q, env.Relations, env.Registry, service.Instant(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-1: selection pushdown below invocation, naive vs optimized, per
+// selectivity. The per-op metric "invocations/op" carries the shape result.
+
+func BenchmarkRewritePushdown(b *testing.B) {
+	const sensors = 200
+	for _, locs := range []int{1, 4, 20} {
+		env := bench.MustGenerate(bench.Config{Sensors: sensors, Cameras: 1, Contacts: 1, Locations: locs, Seed: 1})
+		loc := env.Locations[0]
+		for _, mode := range []struct {
+			name string
+			q    query.Node
+		}{
+			{"naive", env.NaivePushdownQuery(loc)},
+			{"optimized", env.OptimizedPushdownQuery(loc)},
+		} {
+			b.Run(fmt.Sprintf("sel=1/%d/%s", locs, mode.name), func(b *testing.B) {
+				var invocations int64
+				for i := 0; i < b.N; i++ {
+					res, err := query.Evaluate(mode.q, env.Relations, env.Registry, service.Instant(i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					invocations += res.Stats.Passive
+				}
+				b.ReportMetric(float64(invocations)/float64(b.N), "invocations/op")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-3: optimizer advantage vs injected service latency.
+
+func BenchmarkOptimizerLatency(b *testing.B) {
+	const sensors = 50
+	for _, lat := range []time.Duration{0, 200 * time.Microsecond, time.Millisecond} {
+		env := bench.MustGenerate(bench.Config{
+			Sensors: sensors, Cameras: 1, Contacts: 1, Locations: 10,
+			ServiceLatency: lat, Seed: 1,
+		})
+		loc := env.Locations[0]
+		b.Run(fmt.Sprintf("lat=%s/naive", lat), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := query.Evaluate(env.NaivePushdownQuery(loc), env.Relations, env.Registry, service.Instant(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("lat=%s/optimized", lat), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := query.Evaluate(env.OptimizedPushdownQuery(loc), env.Relations, env.Registry, service.Instant(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-4: continuous-query tick cost vs window size.
+
+func BenchmarkWindowSweep(b *testing.B) {
+	const rate = 50
+	for _, w := range []int64{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			reg := service.NewRegistry()
+			exec := cq.NewExecutor(reg)
+			events := stream.NewInfinite(bench.FeedLikeStreamSchema("events"))
+			if err := exec.AddRelation(events); err != nil {
+				b.Fatal(err)
+			}
+			seq := 0
+			exec.AddSource(func(at service.Instant) error {
+				for i := 0; i < rate; i++ {
+					seq++
+					if err := events.Insert(at, value.Tuple{
+						value.NewInt(int64(seq)), value.NewString("p"),
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if _, err := exec.Register("w", query.NewWindow(query.NewBase("events"), w)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Tick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-5: discovery scalability — time to register n services from TCP nodes.
+
+func BenchmarkDiscovery(b *testing.B) {
+	for _, n := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("services=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				bus := discovery.NewInProcBus()
+				central := service.NewRegistry()
+				if err := central.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+					b.Fatal(err)
+				}
+				node := discovery.NewNode("node", bus)
+				if err := node.Registry().RegisterPrototype(device.GetTemperatureProto()); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < n; j++ {
+					if err := node.Registry().Register(device.NewSensor(fmt.Sprintf("s%05d", j), "lab", 20)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				m := discovery.NewManager(central, bus)
+				m.Start()
+				b.StartTimer()
+				if err := node.Start("127.0.0.1:0"); err != nil {
+					b.Fatal(err)
+				}
+				for len(central.Refs()) < n {
+					time.Sleep(200 * time.Microsecond)
+				}
+				b.StopTimer()
+				_ = node.Stop()
+				m.Stop()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-6: remote invocation over TCP vs in-process, per payload size.
+
+func BenchmarkWireInvocation(b *testing.B) {
+	for _, size := range []int{64, 4096, 65536} {
+		reg := service.NewRegistry()
+		proto := schema.MustPrototype("getBlob", nil,
+			schema.MustRel(schema.Attribute{Name: "blob", Type: value.Blob}), false)
+		if err := reg.RegisterPrototype(proto); err != nil {
+			b.Fatal(err)
+		}
+		payload := make([]byte, size)
+		if err := reg.Register(service.NewFunc("blobber", map[string]service.InvokeFunc{
+			"getBlob": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+				return []value.Tuple{{value.NewBlob(payload)}}, nil
+			},
+		})); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("local/payload=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.Invoke("getBlob", "blobber", nil, service.Instant(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("remote/payload=%d", size), func(b *testing.B) {
+			srv := wire.NewServer("node", reg)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			client, err := wire.Dial(addr, 5*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Invoke("getBlob", "blobber", nil, service.Instant(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-7: hybrid query throughput per environment size.
+
+func BenchmarkHybrid(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		env := bench.MustGenerate(bench.Config{Sensors: n, Cameras: 10, Contacts: 20, Locations: 10, Seed: 1})
+		q := env.HybridQuery(env.Locations[0], 10)
+		b.Run(fmt.Sprintf("sensors=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := query.Evaluate(q, env.Relations, env.Registry, service.Instant(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation A-1/A-4: per-instant memoization of passive invocations.
+
+func BenchmarkInstantMemo(b *testing.B) {
+	env := bench.MustGenerate(bench.Config{Sensors: 50, Cameras: 1, Contacts: 1, Locations: 1, Seed: 1})
+	// Duplicate every sensor row 4× under alias locations.
+	var rows []value.Tuple
+	for _, tu := range env.Relations["sensors"].Tuples() {
+		for d := 0; d < 4; d++ {
+			rows = append(rows, value.Tuple{tu[0], value.NewString(fmt.Sprintf("alias%d", d))})
+		}
+	}
+	dup := algebra.MustNew(env.Relations["sensors"].Schema(), rows)
+	relations := query.MapEnv{"sensors": dup}
+	q := query.NewInvoke(query.NewBase("sensors"), "getTemperature", "")
+
+	b.Run("memo=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := query.NewContext(relations, env.Registry, service.Instant(i))
+			if _, err := q.Eval(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("memo=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := query.NewContext(relations, env.Registry, service.Instant(i))
+			ctx.Memo = nil
+			if _, err := q.Eval(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Ablation A-2: delta invocation (Section 4.2) vs naive re-invocation in
+// continuous execution. Metric: physical invocations per tick.
+
+func BenchmarkDeltaInvocation(b *testing.B) {
+	const sensors = 100
+	b.Run("delta", func(b *testing.B) {
+		env := bench.MustGenerate(bench.Config{Sensors: sensors, Cameras: 1, Contacts: 1, Locations: 1, Seed: 1})
+		exec := cq.NewExecutor(env.Registry)
+		rel := stream.NewFinite(env.Relations["sensors"].Schema())
+		for _, tu := range env.Relations["sensors"].Tuples() {
+			if err := rel.Insert(0, tu); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := exec.AddRelation(rel); err != nil {
+			b.Fatal(err)
+		}
+		q, err := exec.Register("t", query.NewInvoke(query.NewBase("sensors"), "getTemperature", ""))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.Tick(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(q.Stats().Passive)/float64(b.N), "invocations/tick")
+	})
+	b.Run("naive", func(b *testing.B) {
+		env := bench.MustGenerate(bench.Config{Sensors: sensors, Cameras: 1, Contacts: 1, Locations: 1, Seed: 1})
+		q := query.NewInvoke(query.NewBase("sensors"), "getTemperature", "")
+		var invocations int64
+		for i := 0; i < b.N; i++ {
+			res, err := query.Evaluate(q, env.Relations, env.Registry, service.Instant(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			invocations += res.Stats.Passive
+		}
+		b.ReportMetric(float64(invocations)/float64(b.N), "invocations/tick")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Ablation A-3: action-set capture overhead — evaluating an active query
+// (capture on the hot path) vs a passive query of the same shape.
+
+func BenchmarkActionSetOverhead(b *testing.B) {
+	reg, dev := paperenv.MustRegistry()
+	env := query.MapEnv{
+		"contacts": paperenv.Contacts(),
+		"sensors":  paperenv.Sensors(),
+	}
+	active := query.NewInvoke(
+		query.NewAssignConst(query.NewBase("contacts"), "text", value.NewString("x")),
+		"sendMessage", "")
+	passive := query.NewInvoke(query.NewBase("sensors"), "getTemperature", "")
+	b.Run("active-with-actions", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := query.Evaluate(active, env, reg, service.Instant(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		dev.Messengers["email"].Reset()
+		dev.Messengers["jabber"].Reset()
+	})
+	b.Run("passive-no-actions", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := query.Evaluate(passive, env, reg, service.Instant(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Ablation A-1: eager BP propagation (schema derivation) cost — planning a
+// Table 4-style query repeatedly.
+
+func BenchmarkBPPropagation(b *testing.B) {
+	env := query.MapEnv{
+		"contacts": paperenv.Contacts(),
+		"cameras":  paperenv.Cameras(),
+	}
+	q, err := sal.Parse(`project[photo](invoke[takePhoto](select[quality >= 5](invoke[checkPhoto](select[area = "office"](cameras)))))`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("plan-schema-derivation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := q.ResultSchema(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// B-8: parallel invocation speedup under latency (Section 5.1 asynchronous
+// invocation handling).
+
+func BenchmarkParallelInvocation(b *testing.B) {
+	env := bench.MustGenerate(bench.Config{
+		Sensors: 32, Cameras: 1, Contacts: 1, Locations: 1,
+		ServiceLatency: time.Millisecond, Seed: 1,
+	})
+	q := query.NewInvoke(query.NewBase("sensors"), "getTemperature", "")
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("parallelism=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := query.NewContext(env.Relations, env.Registry, service.Instant(i))
+				ctx.Parallelism = workers
+				if _, err := query.EvaluateCtx(q, ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation throughput (the Section 1.2 mean-per-location extension).
+
+func BenchmarkAggregate(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		sch := schema.MustExtended("readings", []schema.ExtAttr{
+			{Attribute: schema.Attribute{Name: "sensor", Type: value.Service}},
+			{Attribute: schema.Attribute{Name: "location", Type: value.String}},
+			{Attribute: schema.Attribute{Name: "temperature", Type: value.Real}},
+		}, nil)
+		rows := make([]value.Tuple, n)
+		for i := 0; i < n; i++ {
+			rows[i] = value.Tuple{
+				value.NewService(fmt.Sprintf("s%05d", i)),
+				value.NewString(fmt.Sprintf("loc%02d", i%20)),
+				value.NewReal(float64(i % 37)),
+			}
+		}
+		r := algebra.MustNew(sch, rows)
+		aggs := []algebra.AggSpec{
+			{Func: algebra.Mean, Attr: "temperature", As: "avg"},
+			{Func: algebra.Count, As: "n"},
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := algebra.Aggregate(r, []string{"location"}, aggs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Serena SQL compilation cost (parse + conjunct placement + validation).
+
+func BenchmarkSSQLCompile(b *testing.B) {
+	env := query.MapEnv{
+		"contacts": paperenv.Contacts(),
+		"cameras":  paperenv.Cameras(),
+	}
+	const src = `SELECT photo FROM cameras USING checkPhoto, takePhoto
+		WHERE area = "office" AND quality >= 5`
+	for i := 0; i < b.N; i++ {
+		if _, err := ssql.Compile(src, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer planning cost (logical rewriting itself).
+
+func BenchmarkOptimizerPlanning(b *testing.B) {
+	env := bench.MustGenerate(bench.Config{Sensors: 100, Cameras: 10, Contacts: 10, Locations: 10, Seed: 1})
+	opt := optimizer.New(rewrite.DefaultRules(), optimizer.EnvStats{Env: env.Relations}, optimizer.DefaultCostModel())
+	q := env.NaivePushdownQuery(env.Locations[0])
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Optimize(q, env.Relations); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

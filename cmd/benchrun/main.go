@@ -1,0 +1,116 @@
+// Command benchrun regenerates the experiment tables of EXPERIMENTS.md:
+// the hybrid-query benchmark sweeps (B-1, B-3…B-7) and the design-choice
+// ablations (A-2, A-4). Each experiment prints one text table.
+//
+// Usage:
+//
+//	benchrun -exp all            # every experiment (default)
+//	benchrun -exp B1,B6          # a subset
+//	benchrun -quick              # smaller sweeps for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"serena/internal/bench"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (B1,B3,B4,B5,B6,B7,B8,A2,A4) or 'all'")
+	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(strings.ToUpper(*expFlag), ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["ALL"]
+	selected := func(id string) bool { return all || want[id] }
+
+	type experiment struct {
+		id  string
+		run func() (*bench.Table, error)
+	}
+	experiments := []experiment{
+		{"B1", func() (*bench.Table, error) {
+			if *quick {
+				return bench.PushdownSweep(50, []int{1, 2, 5, 10}, 100*time.Microsecond)
+			}
+			return bench.PushdownSweep(200, []int{1, 2, 4, 10, 20, 100}, 200*time.Microsecond)
+		}},
+		{"B3", func() (*bench.Table, error) {
+			if *quick {
+				return bench.LatencySweep(50, []time.Duration{0, 100 * time.Microsecond, time.Millisecond})
+			}
+			return bench.LatencySweep(100, []time.Duration{
+				0, 50 * time.Microsecond, 200 * time.Microsecond, time.Millisecond, 5 * time.Millisecond,
+			})
+		}},
+		{"B4", func() (*bench.Table, error) {
+			if *quick {
+				return bench.WindowSweep(20, []int64{1, 10, 100}, 50)
+			}
+			return bench.WindowSweep(50, []int64{1, 10, 100, 1000, 10000}, 200)
+		}},
+		{"B5", func() (*bench.Table, error) {
+			if *quick {
+				return bench.DiscoverySweep([]int{10, 50}, 4)
+			}
+			return bench.DiscoverySweep([]int{10, 100, 500, 1000}, 8)
+		}},
+		{"B6", func() (*bench.Table, error) {
+			if *quick {
+				return bench.WireSweep([]int{64, 4096}, 200)
+			}
+			return bench.WireSweep([]int{64, 1024, 16384, 262144}, 1000)
+		}},
+		{"B7", func() (*bench.Table, error) {
+			if *quick {
+				return bench.HybridSweep([]int{50, 200}, 50)
+			}
+			return bench.HybridSweep([]int{100, 1000, 10000}, 100)
+		}},
+		{"B8", func() (*bench.Table, error) {
+			if *quick {
+				return bench.ParallelInvocationSweep(32, 2*time.Millisecond, []int{1, 4, 16})
+			}
+			return bench.ParallelInvocationSweep(100, 2*time.Millisecond, []int{1, 2, 4, 8, 16, 32})
+		}},
+		{"A2", func() (*bench.Table, error) {
+			if *quick {
+				return bench.DeltaInvocationAblation(50, 20)
+			}
+			return bench.DeltaInvocationAblation(200, 100)
+		}},
+		{"A4", func() (*bench.Table, error) {
+			if *quick {
+				return bench.MemoAblation(50, 4)
+			}
+			return bench.MemoAblation(200, 8)
+		}},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !selected(e.id) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tbl, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s completed in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchrun: no experiment matches %q\n", *expFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,87 @@
+// Command pemsd runs a Local Environment Resource Manager node (the
+// distributed boxes of the paper's Figure 1): it hosts simulated devices,
+// serves the Serena wire protocol over TCP and prints its address so a
+// core PEMS (cmd/serena with -connect) can reach it.
+//
+// Usage:
+//
+//	pemsd -node sensors -listen 127.0.0.1:7070 -sensors 4 -cameras 0
+//	pemsd -node actuators -listen 127.0.0.1:7071 -messengers email,jabber
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"serena/internal/device"
+	"serena/internal/service"
+	"serena/internal/wire"
+)
+
+func main() {
+	node := flag.String("node", "node", "node name")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	sensors := flag.Int("sensors", 0, "number of simulated temperature sensors")
+	cameras := flag.Int("cameras", 0, "number of simulated cameras")
+	messengers := flag.String("messengers", "", "comma-separated messenger refs (e.g. email,jabber)")
+	base := flag.Float64("base", 20, "base temperature for sensors")
+	location := flag.String("location", "lab", "location/area for hosted devices")
+	flag.Parse()
+
+	reg := service.NewRegistry()
+	for _, p := range device.ScenarioPrototypes() {
+		if err := reg.RegisterPrototype(p); err != nil {
+			log.Fatalf("pemsd: %v", err)
+		}
+	}
+	hosted := 0
+	for i := 0; i < *sensors; i++ {
+		ref := fmt.Sprintf("%s-sensor%02d", *node, i)
+		s := device.NewSensor(ref, *location, *base, device.WithDailyCycle(3, 1440), device.WithNoise(0.2))
+		if err := reg.Register(s); err != nil {
+			log.Fatalf("pemsd: %v", err)
+		}
+		hosted++
+	}
+	for i := 0; i < *cameras; i++ {
+		ref := fmt.Sprintf("%s-camera%02d", *node, i)
+		if err := reg.Register(device.NewCamera(ref, *location, 7, 0.2)); err != nil {
+			log.Fatalf("pemsd: %v", err)
+		}
+		hosted++
+	}
+	if *messengers != "" {
+		for _, ref := range strings.Split(*messengers, ",") {
+			ref = strings.TrimSpace(ref)
+			if ref == "" {
+				continue
+			}
+			if err := reg.Register(device.NewMessenger(ref, ref)); err != nil {
+				log.Fatalf("pemsd: %v", err)
+			}
+			hosted++
+		}
+	}
+	if hosted == 0 {
+		log.Fatal("pemsd: nothing to host; pass -sensors, -cameras or -messengers")
+	}
+
+	srv := wire.NewServer(*node, reg)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("pemsd: %v", err)
+	}
+	fmt.Printf("pemsd: node %q serving %d service(s) on %s\n", *node, hosted, addr)
+	fmt.Printf("pemsd: connect from the core with: serena -connect %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("pemsd: shutting down")
+	_ = srv.Close()
+}

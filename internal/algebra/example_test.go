@@ -1,0 +1,52 @@
+package algebra_test
+
+import (
+	"fmt"
+
+	"serena/internal/algebra"
+	"serena/internal/paperenv"
+	"serena/internal/schema"
+	"serena/internal/value"
+)
+
+// ExampleSelect filters the paper's contacts relation (Table 3b: selection
+// formulas range over real attributes only).
+func ExampleSelect() {
+	contacts := paperenv.Contacts()
+	notCarla := algebra.Compare(algebra.Attr("name"), algebra.Ne, algebra.Const(value.NewString("Carla")))
+	out, _ := algebra.Select(contacts, notCarla)
+	for _, t := range out.Sorted() {
+		fmt.Println(t[0])
+	}
+	// Output:
+	// "Francois"
+	// "Nicolas"
+}
+
+// ExampleInvoke realizes the virtual temperature attribute by invoking the
+// getTemperature binding pattern per tuple (Table 3f). The Invoker here is
+// a stub; in a running system the query evaluation context performs real
+// service invocations.
+func ExampleInvoke() {
+	sensors := paperenv.Sensors()
+	bp, _ := sensors.Schema().FindBP("getTemperature", "")
+	stub := algebra.InvokerFunc(func(_ schema.BindingPattern, ref string, _ value.Tuple) ([]value.Tuple, error) {
+		return []value.Tuple{{value.NewReal(20)}}, nil
+	})
+	out, _ := algebra.Invoke(sensors, bp, stub)
+	fmt.Println(out.Schema().IsReal("temperature"), out.Len())
+	// Output: true 4
+}
+
+// ExampleAggregate computes the Section 1.2 mean temperature per location
+// over materialized readings.
+func ExampleAggregate() {
+	readings := algebra.MustNew(paperenv.TemperaturesSchema(), []value.Tuple{
+		{value.NewService("sensor06"), value.NewString("office"), value.NewReal(21)},
+		{value.NewService("sensor07"), value.NewString("office"), value.NewReal(23)},
+	})
+	out, _ := algebra.Aggregate(readings, []string{"location"},
+		[]algebra.AggSpec{{Func: algebra.Mean, Attr: "temperature", As: "avgtemp"}})
+	fmt.Println(out.Tuples()[0])
+	// Output: ("office", 22)
+}

@@ -1,0 +1,324 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"serena/internal/schema"
+	"serena/internal/value"
+)
+
+// Formula is a selection formula over the real schema of an extended
+// relation (Table 3b: "selection formulas can only apply on attributes from
+// the real schema, as virtual attributes do not have a value").
+//
+// The usual relational grammar is supported: attribute/constant and
+// attribute/attribute comparisons combined with AND, OR and NOT, plus a
+// CONTAINS predicate for substring search (used by the paper's RSS-keyword
+// scenario).
+type Formula interface {
+	// Validate checks the formula against a schema: every referenced
+	// attribute must be a real attribute and comparisons must be
+	// well-typed.
+	Validate(sch *schema.Extended) error
+	// Eval evaluates the formula on a tuple of the schema. Comparisons
+	// involving NULL evaluate to false (no three-valued logic in the
+	// paper's model; NULL never satisfies a predicate except via NOT).
+	Eval(sch *schema.Extended, t value.Tuple) bool
+	// Attrs appends the referenced attribute names to dst.
+	Attrs(dst []string) []string
+	// String renders the formula in Serena Algebra Language syntax.
+	String() string
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Supported comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Contains // substring match on STRING/SERVICE operands
+)
+
+var cmpNames = map[CmpOp]string{
+	Eq: "=", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Contains: "contains",
+}
+
+// String returns the SAL spelling of the operator.
+func (op CmpOp) String() string {
+	if s, ok := cmpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("CmpOp(%d)", uint8(op))
+}
+
+// CmpOpFromString parses an operator token ("=", "==", "!=", "<>", "<",
+// "<=", ">", ">=", "contains").
+func CmpOpFromString(s string) (CmpOp, bool) {
+	switch strings.ToLower(s) {
+	case "=", "==":
+		return Eq, true
+	case "!=", "<>":
+		return Ne, true
+	case "<":
+		return Lt, true
+	case "<=":
+		return Le, true
+	case ">":
+		return Gt, true
+	case ">=":
+		return Ge, true
+	case "contains":
+		return Contains, true
+	}
+	return 0, false
+}
+
+// Operand is one side of a comparison: either an attribute reference or a
+// constant.
+type Operand struct {
+	Attr  string // non-empty for attribute references
+	Const value.Value
+}
+
+// Attr returns an attribute operand.
+func Attr(name string) Operand { return Operand{Attr: name} }
+
+// Const returns a constant operand.
+func Const(v value.Value) Operand { return Operand{Const: v} }
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.Attr != "" {
+		return o.Attr
+	}
+	return o.Const.String()
+}
+
+func (o Operand) typeIn(sch *schema.Extended) (value.Kind, error) {
+	if o.Attr == "" {
+		return o.Const.Kind(), nil
+	}
+	if !sch.Has(o.Attr) {
+		return 0, fmt.Errorf("algebra: unknown attribute %q in formula", o.Attr)
+	}
+	if !sch.IsReal(o.Attr) {
+		return 0, fmt.Errorf("algebra: selection formula references virtual attribute %q (Table 3b forbids this)", o.Attr)
+	}
+	k, _ := sch.TypeOf(o.Attr)
+	return k, nil
+}
+
+func (o Operand) valueIn(sch *schema.Extended, t value.Tuple) value.Value {
+	if o.Attr == "" {
+		return o.Const
+	}
+	return t[sch.RealIndex(o.Attr)]
+}
+
+// Cmp is an atomic comparison formula.
+type Cmp struct {
+	Left  Operand
+	Op    CmpOp
+	Right Operand
+}
+
+// Compare builds a comparison formula.
+func Compare(left Operand, op CmpOp, right Operand) *Cmp {
+	return &Cmp{Left: left, Op: op, Right: right}
+}
+
+// Validate implements Formula.
+func (c *Cmp) Validate(sch *schema.Extended) error {
+	lk, err := c.Left.typeIn(sch)
+	if err != nil {
+		return err
+	}
+	rk, err := c.Right.typeIn(sch)
+	if err != nil {
+		return err
+	}
+	if lk == value.Null || rk == value.Null {
+		return nil // NULL literal comparisons are allowed, always false
+	}
+	if c.Op == Contains {
+		textual := func(k value.Kind) bool { return k == value.String || k == value.Service }
+		if !textual(lk) || !textual(rk) {
+			return fmt.Errorf("algebra: contains needs textual operands, got %s contains %s", lk, rk)
+		}
+		return nil
+	}
+	if !value.Comparable(lk, rk) {
+		return fmt.Errorf("algebra: cannot compare %s %s %s", lk, c.Op, rk)
+	}
+	return nil
+}
+
+// Eval implements Formula.
+func (c *Cmp) Eval(sch *schema.Extended, t value.Tuple) bool {
+	l := c.Left.valueIn(sch, t)
+	r := c.Right.valueIn(sch, t)
+	if l.IsNull() || r.IsNull() {
+		return false
+	}
+	if c.Op == Contains {
+		ls, ok1 := l.AsString()
+		rs, ok2 := r.AsString()
+		return ok1 && ok2 && strings.Contains(ls, rs)
+	}
+	if !value.Comparable(l.Kind(), r.Kind()) {
+		return false
+	}
+	cmp := value.Compare(l, r)
+	switch c.Op {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Attrs implements Formula.
+func (c *Cmp) Attrs(dst []string) []string {
+	if c.Left.Attr != "" {
+		dst = append(dst, c.Left.Attr)
+	}
+	if c.Right.Attr != "" {
+		dst = append(dst, c.Right.Attr)
+	}
+	return dst
+}
+
+// String implements Formula.
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// And is a conjunction of formulas.
+type And struct{ Terms []Formula }
+
+// NewAnd builds a conjunction.
+func NewAnd(terms ...Formula) *And { return &And{Terms: terms} }
+
+// Validate implements Formula.
+func (a *And) Validate(sch *schema.Extended) error {
+	for _, f := range a.Terms {
+		if err := f.Validate(sch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Eval implements Formula.
+func (a *And) Eval(sch *schema.Extended, t value.Tuple) bool {
+	for _, f := range a.Terms {
+		if !f.Eval(sch, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Attrs implements Formula.
+func (a *And) Attrs(dst []string) []string {
+	for _, f := range a.Terms {
+		dst = f.Attrs(dst)
+	}
+	return dst
+}
+
+// String implements Formula.
+func (a *And) String() string { return joinFormulas(a.Terms, " and ") }
+
+// Or is a disjunction of formulas.
+type Or struct{ Terms []Formula }
+
+// NewOr builds a disjunction.
+func NewOr(terms ...Formula) *Or { return &Or{Terms: terms} }
+
+// Validate implements Formula.
+func (o *Or) Validate(sch *schema.Extended) error {
+	for _, f := range o.Terms {
+		if err := f.Validate(sch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Eval implements Formula.
+func (o *Or) Eval(sch *schema.Extended, t value.Tuple) bool {
+	for _, f := range o.Terms {
+		if f.Eval(sch, t) {
+			return true
+		}
+	}
+	return len(o.Terms) == 0
+}
+
+// Attrs implements Formula.
+func (o *Or) Attrs(dst []string) []string {
+	for _, f := range o.Terms {
+		dst = f.Attrs(dst)
+	}
+	return dst
+}
+
+// String implements Formula.
+func (o *Or) String() string { return joinFormulas(o.Terms, " or ") }
+
+// Not negates a formula.
+type Not struct{ Term Formula }
+
+// NewNot builds a negation.
+func NewNot(f Formula) *Not { return &Not{Term: f} }
+
+// Validate implements Formula.
+func (n *Not) Validate(sch *schema.Extended) error { return n.Term.Validate(sch) }
+
+// Eval implements Formula.
+func (n *Not) Eval(sch *schema.Extended, t value.Tuple) bool { return !n.Term.Eval(sch, t) }
+
+// Attrs implements Formula.
+func (n *Not) Attrs(dst []string) []string { return n.Term.Attrs(dst) }
+
+// String implements Formula.
+func (n *Not) String() string { return "not (" + n.Term.String() + ")" }
+
+// True is the always-true formula.
+type True struct{}
+
+// Validate implements Formula.
+func (True) Validate(*schema.Extended) error { return nil }
+
+// Eval implements Formula.
+func (True) Eval(*schema.Extended, value.Tuple) bool { return true }
+
+// Attrs implements Formula.
+func (True) Attrs(dst []string) []string { return dst }
+
+// String implements Formula.
+func (True) String() string { return "true" }
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = "(" + f.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}

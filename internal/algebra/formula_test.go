@@ -1,0 +1,174 @@
+package algebra_test
+
+import (
+	"testing"
+
+	"serena/internal/algebra"
+	"serena/internal/paperenv"
+	"serena/internal/value"
+)
+
+func TestCmpOpParsing(t *testing.T) {
+	cases := map[string]algebra.CmpOp{
+		"=": algebra.Eq, "==": algebra.Eq, "!=": algebra.Ne, "<>": algebra.Ne,
+		"<": algebra.Lt, "<=": algebra.Le, ">": algebra.Gt, ">=": algebra.Ge,
+		"contains": algebra.Contains, "CONTAINS": algebra.Contains,
+	}
+	for s, want := range cases {
+		got, ok := algebra.CmpOpFromString(s)
+		if !ok || got != want {
+			t.Errorf("CmpOpFromString(%q) = %v,%v", s, got, ok)
+		}
+	}
+	if _, ok := algebra.CmpOpFromString("~"); ok {
+		t.Error("bogus operator accepted")
+	}
+}
+
+func TestFormulaValidateRejectsVirtualAttrs(t *testing.T) {
+	sch := paperenv.ContactsSchema()
+	// 'sent' is virtual: Table 3b forbids it in selection formulas.
+	f := algebra.Compare(algebra.Attr("sent"), algebra.Eq, algebra.Const(value.NewBool(true)))
+	if err := f.Validate(sch); err == nil {
+		t.Fatal("virtual attribute accepted in formula")
+	}
+	g := algebra.Compare(algebra.Attr("ghost"), algebra.Eq, algebra.Const(value.NewInt(1)))
+	if err := g.Validate(sch); err == nil {
+		t.Fatal("unknown attribute accepted in formula")
+	}
+	h := algebra.Compare(algebra.Attr("name"), algebra.Eq, algebra.Const(value.NewString("Carla")))
+	if err := h.Validate(sch); err != nil {
+		t.Fatalf("valid formula rejected: %v", err)
+	}
+}
+
+func TestFormulaValidateTypeChecks(t *testing.T) {
+	sch := paperenv.ContactsSchema()
+	bad := algebra.Compare(algebra.Attr("name"), algebra.Lt, algebra.Const(value.NewInt(3)))
+	if err := bad.Validate(sch); err == nil {
+		t.Fatal("STRING < INTEGER accepted")
+	}
+	cs := paperenv.SensorsSchema()
+	// location STRING contains INTEGER → invalid.
+	badC := algebra.Compare(algebra.Attr("location"), algebra.Contains, algebra.Const(value.NewInt(1)))
+	if err := badC.Validate(cs); err == nil {
+		t.Fatal("contains with numeric operand accepted")
+	}
+	okC := algebra.Compare(algebra.Attr("location"), algebra.Contains, algebra.Const(value.NewString("ffi")))
+	if err := okC.Validate(cs); err != nil {
+		t.Fatalf("valid contains rejected: %v", err)
+	}
+	// NULL literal comparisons validate (and evaluate to false).
+	nullCmp := algebra.Compare(algebra.Attr("name"), algebra.Eq, algebra.Const(value.NewNull()))
+	if err := nullCmp.Validate(sch); err != nil {
+		t.Fatalf("NULL comparison rejected: %v", err)
+	}
+}
+
+func TestFormulaEval(t *testing.T) {
+	sch := paperenv.ContactsSchema()
+	carla := value.Tuple{value.NewString("Carla"), value.NewString("carla@elysee.fr"), value.NewService("email")}
+
+	eq := algebra.Compare(algebra.Attr("name"), algebra.Eq, algebra.Const(value.NewString("Carla")))
+	ne := algebra.Compare(algebra.Attr("name"), algebra.Ne, algebra.Const(value.NewString("Carla")))
+	if !eq.Eval(sch, carla) || ne.Eval(sch, carla) {
+		t.Fatal("Eq/Ne broken")
+	}
+	contains := algebra.Compare(algebra.Attr("address"), algebra.Contains, algebra.Const(value.NewString("elysee")))
+	if !contains.Eval(sch, carla) {
+		t.Fatal("Contains broken")
+	}
+	attrAttr := algebra.Compare(algebra.Attr("address"), algebra.Contains, algebra.Attr("messenger"))
+	if attrAttr.Eval(sch, carla) { // "carla@elysee.fr" does not contain "email"
+		t.Fatal("attr-attr Contains broken")
+	}
+}
+
+func TestFormulaEvalNumericOrder(t *testing.T) {
+	sch := paperenv.TemperaturesSchema()
+	hot := value.Tuple{value.NewService("s1"), value.NewString("office"), value.NewReal(36.0)}
+	cold := value.Tuple{value.NewService("s2"), value.NewString("roof"), value.NewReal(10.0)}
+	gt := algebra.Compare(algebra.Attr("temperature"), algebra.Gt, algebra.Const(value.NewReal(35.5)))
+	ge := algebra.Compare(algebra.Attr("temperature"), algebra.Ge, algebra.Const(value.NewInt(36)))
+	lt := algebra.Compare(algebra.Attr("temperature"), algebra.Lt, algebra.Const(value.NewReal(12.0)))
+	le := algebra.Compare(algebra.Attr("temperature"), algebra.Le, algebra.Const(value.NewReal(10)))
+	if !gt.Eval(sch, hot) || gt.Eval(sch, cold) {
+		t.Fatal("Gt broken")
+	}
+	if !ge.Eval(sch, hot) { // mixed Int/Real comparison
+		t.Fatal("Ge with Int constant broken")
+	}
+	if !lt.Eval(sch, cold) || lt.Eval(sch, hot) {
+		t.Fatal("Lt broken")
+	}
+	if !le.Eval(sch, cold) {
+		t.Fatal("Le broken")
+	}
+}
+
+func TestFormulaEvalNull(t *testing.T) {
+	sch := paperenv.ContactsSchema()
+	withNull := value.Tuple{value.NewNull(), value.NewString("x@y"), value.NewService("email")}
+	eq := algebra.Compare(algebra.Attr("name"), algebra.Eq, algebra.Const(value.NewNull()))
+	if eq.Eval(sch, withNull) {
+		t.Fatal("NULL = NULL must be false in predicates")
+	}
+	lt := algebra.Compare(algebra.Attr("name"), algebra.Lt, algebra.Const(value.NewString("Z")))
+	if lt.Eval(sch, withNull) {
+		t.Fatal("NULL < x must be false")
+	}
+	neg := algebra.NewNot(lt)
+	if !neg.Eval(sch, withNull) {
+		t.Fatal("NOT(NULL < x) is true in two-valued semantics")
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	sch := paperenv.ContactsSchema()
+	carla := value.Tuple{value.NewString("Carla"), value.NewString("carla@elysee.fr"), value.NewService("email")}
+	isCarla := algebra.Compare(algebra.Attr("name"), algebra.Eq, algebra.Const(value.NewString("Carla")))
+	isEmail := algebra.Compare(algebra.Attr("messenger"), algebra.Eq, algebra.Const(value.NewService("email")))
+	isJabber := algebra.Compare(algebra.Attr("messenger"), algebra.Eq, algebra.Const(value.NewService("jabber")))
+
+	if !algebra.NewAnd(isCarla, isEmail).Eval(sch, carla) {
+		t.Fatal("And broken")
+	}
+	if algebra.NewAnd(isCarla, isJabber).Eval(sch, carla) {
+		t.Fatal("And should be false")
+	}
+	if !algebra.NewOr(isJabber, isEmail).Eval(sch, carla) {
+		t.Fatal("Or broken")
+	}
+	if algebra.NewOr().Eval(sch, carla) != true {
+		t.Fatal("empty Or defined as true (vacuous)")
+	}
+	if !algebra.NewAnd().Eval(sch, carla) {
+		t.Fatal("empty And must be true")
+	}
+	if algebra.NewNot(isCarla).Eval(sch, carla) {
+		t.Fatal("Not broken")
+	}
+	if !(algebra.True{}).Eval(sch, carla) {
+		t.Fatal("True broken")
+	}
+	// Validation recurses.
+	bad := algebra.NewAnd(isCarla, algebra.Compare(algebra.Attr("sent"), algebra.Eq, algebra.Const(value.NewBool(true))))
+	if err := bad.Validate(sch); err == nil {
+		t.Fatal("And validation should recurse into terms")
+	}
+}
+
+func TestFormulaAttrsAndString(t *testing.T) {
+	f := algebra.NewAnd(
+		algebra.Compare(algebra.Attr("a"), algebra.Lt, algebra.Attr("b")),
+		algebra.NewNot(algebra.Compare(algebra.Attr("c"), algebra.Eq, algebra.Const(value.NewInt(1)))),
+	)
+	attrs := f.Attrs(nil)
+	if len(attrs) != 3 {
+		t.Fatalf("Attrs = %v", attrs)
+	}
+	s := f.String()
+	if s != `(a < b) and (not (c = 1))` {
+		t.Fatalf("String = %q", s)
+	}
+}

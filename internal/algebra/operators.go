@@ -1,0 +1,396 @@
+package algebra
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"serena/internal/schema"
+	"serena/internal/value"
+)
+
+// Invoker abstracts the invocation of a binding pattern on a service for
+// one input tuple (the paper's invoke_ψ of Definition 1, as used by the
+// invocation operator of Table 3f). Implementations handle memoization of
+// passive prototypes, action-set recording for active ones, and the actual
+// local or remote call.
+type Invoker interface {
+	Invoke(bp schema.BindingPattern, ref string, input value.Tuple) ([]value.Tuple, error)
+}
+
+// InvokerFunc adapts a function to the Invoker interface.
+type InvokerFunc func(bp schema.BindingPattern, ref string, input value.Tuple) ([]value.Tuple, error)
+
+// Invoke implements Invoker.
+func (f InvokerFunc) Invoke(bp schema.BindingPattern, ref string, input value.Tuple) ([]value.Tuple, error) {
+	return f(bp, ref, input)
+}
+
+// ---------------------------------------------------------------------------
+// Set operators (Section 3.1.1): defined over two X-Relations with the same
+// extended schema; the result keeps that schema.
+
+func requireSameSchema(op string, r1, r2 *XRelation) error {
+	if !r1.Schema().Equal(r2.Schema()) {
+		return fmt.Errorf("algebra: %s requires identical extended schemas (%s vs %s)",
+			op, r1.Schema().Name(), r2.Schema().Name())
+	}
+	return nil
+}
+
+// Union computes r1 ∪ r2.
+func Union(r1, r2 *XRelation) (*XRelation, error) {
+	if err := requireSameSchema("union", r1, r2); err != nil {
+		return nil, err
+	}
+	out := Empty(r1.Schema())
+	for _, t := range r1.Tuples() {
+		out.add(t)
+	}
+	for _, t := range r2.Tuples() {
+		out.add(t)
+	}
+	return out, nil
+}
+
+// Intersect computes r1 ∩ r2.
+func Intersect(r1, r2 *XRelation) (*XRelation, error) {
+	if err := requireSameSchema("intersect", r1, r2); err != nil {
+		return nil, err
+	}
+	out := Empty(r1.Schema())
+	for _, t := range r1.Tuples() {
+		if r2.Contains(t) {
+			out.add(t)
+		}
+	}
+	return out, nil
+}
+
+// Diff computes r1 − r2.
+func Diff(r1, r2 *XRelation) (*XRelation, error) {
+	if err := requireSameSchema("difference", r1, r2); err != nil {
+		return nil, err
+	}
+	out := Empty(r1.Schema())
+	for _, t := range r1.Tuples() {
+		if !r2.Contains(t) {
+			out.add(t)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Relational operators (Section 3.1.2, Table 3 a–d).
+
+// Project computes π_Y(r) (Table 3a): the schema shrinks to Y (binding
+// patterns that lose their service, input or output attributes are dropped)
+// and tuples are projected onto the real part of Y.
+func Project(r *XRelation, names []string) (*XRelation, error) {
+	outSch, err := schema.ProjectSchema(r.Schema(), names)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := r.Schema().RealIndexes(outSch.RealNames())
+	if err != nil {
+		return nil, err
+	}
+	out := Empty(outSch)
+	for _, t := range r.Tuples() {
+		out.add(t.Project(idx))
+	}
+	return out, nil
+}
+
+// Select computes σ_F(r) (Table 3b): the schema is unchanged and F may only
+// reference real attributes.
+func Select(r *XRelation, f Formula) (*XRelation, error) {
+	if err := f.Validate(r.Schema()); err != nil {
+		return nil, err
+	}
+	out := Empty(r.Schema())
+	for _, t := range r.Tuples() {
+		if f.Eval(r.Schema(), t) {
+			out.add(t)
+		}
+	}
+	return out, nil
+}
+
+// Rename computes ρ_{A→B}(r) (Table 3c): tuples are unchanged (the real
+// layout keeps its coordinates), only the schema is relabeled and binding
+// patterns re-checked.
+func Rename(r *XRelation, oldName, newName string) (*XRelation, error) {
+	outSch, err := schema.RenameSchema(r.Schema(), oldName, newName)
+	if err != nil {
+		return nil, err
+	}
+	out := Empty(outSch)
+	for _, t := range r.Tuples() {
+		out.add(t)
+	}
+	return out, nil
+}
+
+// NaturalJoin computes r1 ⋈ r2 (Table 3d). Only attributes real in BOTH
+// operands imply a join predicate; when none exists the tuple-level result
+// is a Cartesian product. Attributes real in one operand and virtual in the
+// other are implicitly realized (their value comes from the real side).
+func NaturalJoin(r1, r2 *XRelation) (*XRelation, error) {
+	outSch, err := schema.JoinSchema(r1.Schema(), r2.Schema())
+	if err != nil {
+		return nil, err
+	}
+	joinAttrs := schema.SharedRealJoinAttrs(r1.Schema(), r2.Schema())
+	idx1, err := r1.Schema().RealIndexes(joinAttrs)
+	if err != nil {
+		return nil, err
+	}
+	idx2, err := r2.Schema().RealIndexes(joinAttrs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Result tuple construction: for every real attribute of the output
+	// schema take the value from r1 when it is real there, else from r2.
+	type source struct {
+		fromR1 bool
+		pos    int
+	}
+	plan := make([]source, 0, outSch.RealArity())
+	for _, name := range outSch.RealNames() {
+		if r1.Schema().IsReal(name) {
+			plan = append(plan, source{true, r1.Schema().RealIndex(name)})
+		} else {
+			plan = append(plan, source{false, r2.Schema().RealIndex(name)})
+		}
+	}
+
+	// Hash join on the shared real attributes.
+	buckets := make(map[string][]value.Tuple, r2.Len())
+	for _, t2 := range r2.Tuples() {
+		k := t2.Project(idx2).Key()
+		buckets[k] = append(buckets[k], t2)
+	}
+	out := Empty(outSch)
+	for _, t1 := range r1.Tuples() {
+		k := t1.Project(idx1).Key()
+		for _, t2 := range buckets[k] {
+			nt := make(value.Tuple, len(plan))
+			for i, s := range plan {
+				if s.fromR1 {
+					nt[i] = t1[s.pos]
+				} else {
+					nt[i] = t2[s.pos]
+				}
+			}
+			out.add(nt)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Realization operators (Section 3.1.3, Table 3 e–f).
+
+// AssignConst computes α_{A:=a}(r) (Table 3e, constant form): the virtual
+// attribute A becomes real and every tuple gains the constant a at A's
+// coordinate. The constant must have (or coerce to) A's declared type.
+func AssignConst(r *XRelation, attr string, v value.Value) (*XRelation, error) {
+	outSch, err := schema.AssignSchema(r.Schema(), attr, "")
+	if err != nil {
+		return nil, err
+	}
+	want, _ := outSch.TypeOf(attr)
+	cv, ok := value.Coerce(v, want)
+	if !ok {
+		return nil, fmt.Errorf("algebra: assignment %s := %s: constant type %s does not match attribute type %s",
+			attr, v, v.Kind(), want)
+	}
+	return realize(r, outSch, func(value.Tuple) value.Value { return cv }, attr), nil
+}
+
+// AssignAttr computes α_{A:=B}(r) (Table 3e, attribute form): A becomes
+// real with, per tuple, the value of the real attribute B.
+func AssignAttr(r *XRelation, attr, src string) (*XRelation, error) {
+	outSch, err := schema.AssignSchema(r.Schema(), attr, src)
+	if err != nil {
+		return nil, err
+	}
+	want, _ := outSch.TypeOf(attr)
+	srcIdx := r.Schema().RealIndex(src)
+	return realize(r, outSch, func(t value.Tuple) value.Value {
+		v, ok := value.Coerce(t[srcIdx], want)
+		if !ok {
+			return value.NewNull() // unreachable: AssignSchema checked types
+		}
+		return v
+	}, attr), nil
+}
+
+// realize rebuilds tuples for a schema where exactly the named attributes
+// changed from virtual to real, pulling new coordinates from gen.
+func realize(r *XRelation, outSch *schema.Extended, gen func(value.Tuple) value.Value, attr string) *XRelation {
+	plan := buildRealizePlan(r.Schema(), outSch)
+	out := Empty(outSch)
+	for _, t := range r.Tuples() {
+		nt := make(value.Tuple, len(plan))
+		for i, p := range plan {
+			if p.old >= 0 {
+				nt[i] = t[p.old]
+			} else {
+				nt[i] = gen(t)
+			}
+		}
+		out.add(nt)
+	}
+	return out
+}
+
+type realizeStep struct {
+	name string
+	old  int // coordinate in the input tuple, or -1 for newly realized
+}
+
+func buildRealizePlan(in, out *schema.Extended) []realizeStep {
+	plan := make([]realizeStep, 0, out.RealArity())
+	for _, name := range out.RealNames() {
+		plan = append(plan, realizeStep{name: name, old: in.RealIndex(name)})
+	}
+	return plan
+}
+
+// Invoke computes β_bp(r) (Table 3f): every input tuple triggers one
+// invocation of bp's prototype on the service its service attribute
+// references; the input tuple is replicated once per output tuple, gaining
+// the realized output attributes. Tuples whose service reference is NULL
+// contribute no output (there is no service to call). Invocation errors
+// abort the operator — error policy (skip/fail) belongs to the caller's
+// Invoker, which may substitute empty results.
+func Invoke(r *XRelation, bp schema.BindingPattern, inv Invoker) (*XRelation, error) {
+	outSch, err := schema.InvokeSchema(r.Schema(), bp)
+	if err != nil {
+		return nil, err
+	}
+	inSch := r.Schema()
+	svcIdx := inSch.RealIndex(bp.ServiceAttr)
+	inIdx, err := inSch.RealIndexes(bp.Proto.Input.Names())
+	if err != nil {
+		return nil, err
+	}
+	outNames := bp.Proto.Output
+	plan := buildRealizePlan(inSch, outSch)
+	// Positions of realized attributes within the prototype output tuple.
+	outPos := make([]int, len(plan))
+	for i, p := range plan {
+		if p.old >= 0 {
+			outPos[i] = -1
+		} else {
+			outPos[i] = outNames.Index(p.name)
+		}
+	}
+
+	// Collect the invocation work list first (skipping NULL references),
+	// then run it — sequentially, or concurrently when the Invoker allows
+	// (Section 5.1: invocations are handled asynchronously; Section 3.2:
+	// order has no impact at a given instant). Results are assembled in
+	// input order either way, so the output is deterministic.
+	type job struct {
+		tuple value.Tuple
+		ref   string
+		input value.Tuple
+	}
+	jobs := make([]job, 0, r.Len())
+	for _, t := range r.Tuples() {
+		refVal := t[svcIdx]
+		if refVal.IsNull() {
+			continue
+		}
+		ref, ok := refVal.AsString()
+		if !ok {
+			return nil, fmt.Errorf("algebra: invoke %s: service attribute %q holds non-reference value %s",
+				bp.ID(), bp.ServiceAttr, refVal)
+		}
+		jobs = append(jobs, job{tuple: t, ref: ref, input: t.Project(inIdx)})
+	}
+
+	results := make([][]value.Tuple, len(jobs))
+	workers := 1
+	if pi, ok := inv.(ParallelInvoker); ok {
+		if n := pi.MaxParallel(); n > workers {
+			workers = n
+		}
+	}
+	if workers > 1 && len(jobs) > 1 {
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		var (
+			wg       sync.WaitGroup
+			next     int64 = -1
+			errMu    sync.Mutex
+			firstErr error
+			errIdx   = len(jobs)
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(jobs) {
+						return
+					}
+					rows, err := inv.Invoke(bp, jobs[i].ref, jobs[i].input)
+					if err != nil {
+						errMu.Lock()
+						if i < errIdx { // keep the first error in input order
+							errIdx, firstErr = i, err
+						}
+						errMu.Unlock()
+						continue
+					}
+					results[i] = rows
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, fmt.Errorf("algebra: invoke %s: %w", bp.ID(), firstErr)
+		}
+	} else {
+		for i, j := range jobs {
+			rows, err := inv.Invoke(bp, j.ref, j.input)
+			if err != nil {
+				return nil, fmt.Errorf("algebra: invoke %s: %w", bp.ID(), err)
+			}
+			results[i] = rows
+		}
+	}
+
+	out := Empty(outSch)
+	for i, j := range jobs {
+		for _, row := range results[i] {
+			nt := make(value.Tuple, len(plan))
+			for k, p := range plan {
+				if p.old >= 0 {
+					nt[k] = j.tuple[p.old]
+				} else {
+					nt[k] = row[outPos[k]]
+				}
+			}
+			out.add(nt)
+		}
+	}
+	return out, nil
+}
+
+// ParallelInvoker is an optional Invoker extension: MaxParallel bounds how
+// many invocations the invocation operator may run concurrently (values < 2
+// keep the sequential path). Implementations must make Invoke safe for
+// concurrent use.
+type ParallelInvoker interface {
+	Invoker
+	MaxParallel() int
+}

@@ -1,0 +1,144 @@
+package bench_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"serena/internal/bench"
+	"serena/internal/query"
+)
+
+func TestGenerate(t *testing.T) {
+	env, err := bench.Generate(bench.Config{Sensors: 20, Cameras: 5, Contacts: 7, Locations: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Sensors) != 20 || len(env.Cameras) != 5 {
+		t.Fatalf("devices = %d/%d", len(env.Sensors), len(env.Cameras))
+	}
+	if env.Relations["sensors"].Len() != 20 || env.Relations["contacts"].Len() != 7 {
+		t.Fatalf("relations = %d/%d", env.Relations["sensors"].Len(), env.Relations["contacts"].Len())
+	}
+	if got := len(env.Registry.Implementing("getTemperature")); got != 20 {
+		t.Fatalf("registered sensors = %d", got)
+	}
+	if len(env.Locations) != 4 {
+		t.Fatalf("locations = %v", env.Locations)
+	}
+	// Degenerate location count clamps.
+	env2 := bench.MustGenerate(bench.Config{Sensors: 1, Cameras: 1, Contacts: 1, Locations: 0})
+	if len(env2.Locations) != 1 {
+		t.Fatal("locations clamp broken")
+	}
+}
+
+func TestPushdownQueriesAgree(t *testing.T) {
+	env := bench.MustGenerate(bench.Config{Sensors: 30, Cameras: 1, Contacts: 1, Locations: 5, Seed: 9})
+	loc := env.Locations[2]
+	rn, err := query.Evaluate(env.NaivePushdownQuery(loc), env.Relations, env.Registry, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := query.Evaluate(env.OptimizedPushdownQuery(loc), env.Relations, env.Registry, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rn.Relation.EqualContents(ro.Relation) {
+		t.Fatal("naive and optimized plans disagree")
+	}
+	if ro.Stats.Passive >= rn.Stats.Passive {
+		t.Fatalf("optimized plan should invoke less: %d vs %d", ro.Stats.Passive, rn.Stats.Passive)
+	}
+	if rn.Stats.Passive != 30 || ro.Stats.Passive != 6 {
+		t.Fatalf("invocations = %d/%d, want 30/6", rn.Stats.Passive, ro.Stats.Passive)
+	}
+}
+
+func TestHybridQuery(t *testing.T) {
+	env := bench.MustGenerate(bench.Config{Sensors: 20, Cameras: 1, Contacts: 10, Locations: 5, Seed: 9})
+	q := env.HybridQuery(env.Locations[0], 0) // threshold 0: all readings pass
+	res, err := query.Evaluate(q, env.Relations, env.Registry, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 contacts watch loc0 (10 contacts over 5 locations), 4 sensors in
+	// loc0 → 8 joined rows.
+	if res.Relation.Len() != 8 {
+		t.Fatalf("hybrid result = %d rows, want 8", res.Relation.Len())
+	}
+}
+
+func TestExperimentTablesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	b1, err := bench.PushdownSweep(20, []int{1, 2, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShape(t, b1, 3, func(row []string) bool {
+		n, _ := strconv.Atoi(row[1])
+		o, _ := strconv.Atoi(row[2])
+		return o <= n
+	})
+	b4, err := bench.WindowSweep(10, []int64{1, 4}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShape(t, b4, 2, nil)
+	a2, err := bench.DeltaInvocationAblation(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Rows[0][1] != "10" || a2.Rows[1][1] != "50" {
+		t.Fatalf("delta ablation = %v", a2.Rows)
+	}
+	a4, err := bench.MemoAblation(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a4.Rows[0][1] != "10" || a4.Rows[1][1] != "30" {
+		t.Fatalf("memo ablation = %v", a4.Rows)
+	}
+	b7, err := bench.HybridSweep([]int{10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShape(t, b7, 1, nil)
+}
+
+func TestWireAndDiscoveryExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network experiments are not short")
+	}
+	b6, err := bench.WireSweep([]int{64, 4096}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShape(t, b6, 2, nil)
+	b5, err := bench.DiscoverySweep([]int{8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShape(t, b5, 1, nil)
+}
+
+func assertShape(t *testing.T, tbl *bench.Table, rows int, check func([]string) bool) {
+	t.Helper()
+	if len(tbl.Rows) != rows {
+		t.Fatalf("%s: %d rows, want %d", tbl.ID, len(tbl.Rows), rows)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("%s: ragged row %v", tbl.ID, row)
+		}
+		if check != nil && !check(row) {
+			t.Fatalf("%s: shape violated in row %v", tbl.ID, row)
+		}
+	}
+	out := tbl.String()
+	if !strings.Contains(out, tbl.ID) || !strings.Contains(out, tbl.Header[0]) {
+		t.Fatalf("%s: rendering broken:\n%s", tbl.ID, out)
+	}
+}

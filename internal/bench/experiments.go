@@ -1,0 +1,493 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"serena/internal/algebra"
+	"serena/internal/cq"
+	"serena/internal/device"
+	"serena/internal/discovery"
+	"serena/internal/query"
+	"serena/internal/schema"
+	"serena/internal/service"
+	"serena/internal/stream"
+	"serena/internal/value"
+	"serena/internal/wire"
+)
+
+// Table is one experiment's result, printable as an aligned text table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for i, w := range widths {
+		_ = i
+		b.WriteString(strings.Repeat("-", w))
+		b.WriteString("  ")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+func f2(f float64) string       { return fmt.Sprintf("%.2f", f) }
+func d2(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+// PushdownSweep is experiment B-1: invocation counts and wall time for the
+// naive plan (invoke all sensors, then filter) vs the Table 5 rewrite
+// (filter, then invoke), across selectivities 1/locations.
+func PushdownSweep(sensors int, locationCounts []int, latency time.Duration) (*Table, error) {
+	t := &Table{
+		ID:     "B-1",
+		Title:  fmt.Sprintf("selection pushdown below invocation (%d sensors, %s/invoke)", sensors, latency),
+		Header: []string{"selectivity", "invocations(naive)", "invocations(opt)", "time(naive)", "time(opt)", "speedup"},
+		Notes:  "optimized invocations ≈ selectivity × naive; speedup grows as selectivity shrinks",
+	}
+	for _, locs := range locationCounts {
+		env, err := Generate(Config{Sensors: sensors, Cameras: 1, Contacts: 1, Locations: locs, ServiceLatency: latency, Seed: 7})
+		if err != nil {
+			return nil, err
+		}
+		loc := env.Locations[0]
+		naive := env.NaivePushdownQuery(loc)
+		opt := env.OptimizedPushdownQuery(loc)
+
+		start := time.Now()
+		rn, err := query.Evaluate(naive, env.Relations, env.Registry, 0)
+		if err != nil {
+			return nil, err
+		}
+		tn := time.Since(start)
+		start = time.Now()
+		ro, err := query.Evaluate(opt, env.Relations, env.Registry, 1)
+		if err != nil {
+			return nil, err
+		}
+		to := time.Since(start)
+		if !rn.Relation.EqualContents(ro.Relation) {
+			return nil, fmt.Errorf("bench: pushdown changed the result at %d locations", locs)
+		}
+		speedup := float64(tn) / float64(to)
+		t.Rows = append(t.Rows, []string{
+			f2(1 / float64(locs)),
+			fmt.Sprint(rn.Stats.Passive), fmt.Sprint(ro.Stats.Passive),
+			d2(tn), d2(to), f2(speedup),
+		})
+	}
+	return t, nil
+}
+
+// LatencySweep is experiment B-3: the optimizer's advantage as a function
+// of per-invocation service latency (fixed 10% selectivity).
+func LatencySweep(sensors int, latencies []time.Duration) (*Table, error) {
+	t := &Table{
+		ID:     "B-3",
+		Title:  fmt.Sprintf("invocation-latency sweep (%d sensors, 10%% selectivity)", sensors),
+		Header: []string{"latency/invoke", "time(naive)", "time(opt)", "speedup"},
+		Notes:  "speedup approaches 1/selectivity as latency dominates",
+	}
+	for _, lat := range latencies {
+		env, err := Generate(Config{Sensors: sensors, Cameras: 1, Contacts: 1, Locations: 10, ServiceLatency: lat, Seed: 7})
+		if err != nil {
+			return nil, err
+		}
+		loc := env.Locations[0]
+		start := time.Now()
+		if _, err := query.Evaluate(env.NaivePushdownQuery(loc), env.Relations, env.Registry, 0); err != nil {
+			return nil, err
+		}
+		tn := time.Since(start)
+		start = time.Now()
+		if _, err := query.Evaluate(env.OptimizedPushdownQuery(loc), env.Relations, env.Registry, 1); err != nil {
+			return nil, err
+		}
+		to := time.Since(start)
+		t.Rows = append(t.Rows, []string{d2(lat), d2(tn), d2(to), f2(float64(tn) / float64(to))})
+	}
+	return t, nil
+}
+
+// WindowSweep is experiment B-4: continuous-query tick latency as a
+// function of window size, at a fixed stream arrival rate.
+func WindowSweep(rate int, windows []int64, ticks int) (*Table, error) {
+	t := &Table{
+		ID:     "B-4",
+		Title:  fmt.Sprintf("window-size sweep (%d tuples/instant, %d ticks)", rate, ticks),
+		Header: []string{"window", "avg tick", "result size"},
+		Notes:  "tick cost grows with window contents (W[p] rescans p instants of arrivals)",
+	}
+	for _, w := range windows {
+		reg := service.NewRegistry()
+		exec := cq.NewExecutor(reg)
+		sch := FeedLikeStreamSchema("events")
+		events := stream.NewInfinite(sch)
+		if err := exec.AddRelation(events); err != nil {
+			return nil, err
+		}
+		seq := 0
+		exec.AddSource(func(at service.Instant) error {
+			for i := 0; i < rate; i++ {
+				seq++
+				err := events.Insert(at, value.Tuple{
+					value.NewInt(int64(seq)),
+					value.NewString(fmt.Sprintf("payload-%d", seq)),
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		q, err := exec.Register("w", query.NewWindow(query.NewBase("events"), w))
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := exec.RunUntil(service.Instant(ticks - 1)); err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w),
+			d2(el / time.Duration(ticks)),
+			fmt.Sprint(q.LastResult().Len()),
+		})
+	}
+	return t, nil
+}
+
+// FeedLikeStreamSchema returns a simple (id INTEGER, payload STRING) stream
+// schema for synthetic stream workloads.
+func FeedLikeStreamSchema(name string) *schema.Extended {
+	return schema.MustExtended(name, []schema.ExtAttr{
+		{Attribute: schema.Attribute{Name: "id", Type: value.Int}},
+		{Attribute: schema.Attribute{Name: "payload", Type: value.String}},
+	}, nil)
+}
+
+// blobProto declares getBlob() : (blob BLOB) for the wire payload sweep.
+func blobProto() *schema.Prototype {
+	return schema.MustPrototype("getBlob", nil,
+		schema.MustRel(schema.Attribute{Name: "blob", Type: value.Blob}), false)
+}
+
+// newXRelation rebuilds an X-Relation over an existing relation's schema.
+func newXRelation(base *algebra.XRelation, rows []value.Tuple) (*algebra.XRelation, error) {
+	return algebra.New(base.Schema(), rows)
+}
+
+// DiscoverySweep is experiment B-5: wall time for a core ERM to discover
+// and register N services announced by M Local-ERM TCP nodes.
+func DiscoverySweep(serviceCounts []int, nodes int) (*Table, error) {
+	t := &Table{
+		ID:     "B-5",
+		Title:  fmt.Sprintf("service discovery scalability (%d TCP nodes)", nodes),
+		Header: []string{"services", "discovery time", "per service"},
+		Notes:  "time from first announcement to full central registration",
+	}
+	for _, n := range serviceCounts {
+		bus := discovery.NewInProcBus()
+		central := service.NewRegistry()
+		if err := central.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+			return nil, err
+		}
+		m := discovery.NewManager(central, bus)
+		m.Start()
+		var ns []*discovery.Node
+		perNode := n / nodes
+		if perNode < 1 {
+			perNode = 1
+		}
+		made := 0
+		for i := 0; i < nodes && made < n; i++ {
+			node := discovery.NewNode(fmt.Sprintf("node%02d", i), bus)
+			if err := node.Registry().RegisterPrototype(device.GetTemperatureProto()); err != nil {
+				return nil, err
+			}
+			for j := 0; j < perNode && made < n; j++ {
+				made++
+				if err := node.Registry().Register(device.NewSensor(fmt.Sprintf("s%05d", made), "lab", 20)); err != nil {
+					return nil, err
+				}
+			}
+			ns = append(ns, node)
+		}
+		start := time.Now()
+		for _, node := range ns {
+			if err := node.Start("127.0.0.1:0"); err != nil {
+				return nil, err
+			}
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for len(central.Refs()) < made && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		el := time.Since(start)
+		if len(central.Refs()) < made {
+			return nil, fmt.Errorf("bench: discovery incomplete: %d/%d", len(central.Refs()), made)
+		}
+		for _, node := range ns {
+			_ = node.Stop()
+		}
+		m.Stop()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(made), d2(el), d2(el / time.Duration(made)),
+		})
+	}
+	return t, nil
+}
+
+// WireSweep is experiment B-6: remote (TCP) vs local invocation latency as
+// blob payload size grows.
+func WireSweep(payloads []int, iters int) (*Table, error) {
+	t := &Table{
+		ID:     "B-6",
+		Title:  "remote invocation over TCP vs in-process",
+		Header: []string{"payload", "local/invoke", "remote/invoke", "slowdown"},
+		Notes:  "remote cost = serialization + loopback round trip; grows with payload",
+	}
+	for _, size := range payloads {
+		reg := service.NewRegistry()
+		proto := blobProto()
+		if err := reg.RegisterPrototype(proto); err != nil {
+			return nil, err
+		}
+		payload := make([]byte, size)
+		svc := service.NewFunc("blobber", map[string]service.InvokeFunc{
+			"getBlob": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+				return []value.Tuple{{value.NewBlob(payload)}}, nil
+			},
+		})
+		if err := reg.Register(svc); err != nil {
+			return nil, err
+		}
+		// Local.
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := reg.Invoke("getBlob", "blobber", nil, service.Instant(i)); err != nil {
+				return nil, err
+			}
+		}
+		local := time.Since(start) / time.Duration(iters)
+		// Remote.
+		srv := wire.NewServer("node", reg)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		client, err := wire.Dial(addr, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := client.Invoke("getBlob", "blobber", nil, service.Instant(i)); err != nil {
+				return nil, err
+			}
+		}
+		remote := time.Since(start) / time.Duration(iters)
+		_ = client.Close()
+		_ = srv.Close()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dB", size), d2(local), d2(remote), f2(float64(remote) / float64(local)),
+		})
+	}
+	return t, nil
+}
+
+// HybridSweep is experiment B-7: throughput of the hybrid data×service
+// query across environment sizes.
+func HybridSweep(sensorCounts []int, iters int) (*Table, error) {
+	t := &Table{
+		ID:     "B-7",
+		Title:  "hybrid query throughput (surveillance ⋈ σ(β(σ(sensors))))",
+		Header: []string{"sensors", "evals/s", "avg invocations/eval"},
+		Notes:  "per-eval invocations stay at sensors/locations thanks to the pushed selection",
+	}
+	for _, n := range sensorCounts {
+		env, err := Generate(Config{Sensors: n, Cameras: 1, Contacts: 20, Locations: 10, Seed: 7})
+		if err != nil {
+			return nil, err
+		}
+		q := env.HybridQuery(env.Locations[0], 10)
+		var invocations int64
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			res, err := query.Evaluate(q, env.Relations, env.Registry, service.Instant(i))
+			if err != nil {
+				return nil, err
+			}
+			invocations += res.Stats.Passive
+		}
+		el := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n),
+			f2(float64(iters) / el.Seconds()),
+			f2(float64(invocations) / float64(iters)),
+		})
+	}
+	return t, nil
+}
+
+// DeltaInvocationAblation is ablation A-2: physical invocations over T
+// ticks for a persisting relation, with the Section 4.2 delta semantics
+// (invoke only new tuples) vs naive per-tick re-invocation.
+func DeltaInvocationAblation(sensors, ticks int) (*Table, error) {
+	t := &Table{
+		ID:     "A-2",
+		Title:  fmt.Sprintf("delta invocation vs naive re-invocation (%d sensors, %d ticks)", sensors, ticks),
+		Header: []string{"mode", "physical invocations"},
+		Notes:  "delta ≈ sensors (first tick only); naive = sensors × ticks",
+	}
+	// Delta: the continuous executor's native behaviour.
+	env, err := Generate(Config{Sensors: sensors, Cameras: 1, Contacts: 1, Locations: 1, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	exec := cq.NewExecutor(env.Registry)
+	rel := stream.NewFinite(env.Relations["sensors"].Schema())
+	for _, tu := range env.Relations["sensors"].Tuples() {
+		if err := rel.Insert(0, tu); err != nil {
+			return nil, err
+		}
+	}
+	if err := exec.AddRelation(rel); err != nil {
+		return nil, err
+	}
+	q, err := exec.Register("t", query.NewInvoke(query.NewBase("sensors"), "getTemperature", ""))
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.RunUntil(service.Instant(ticks - 1)); err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"delta (Section 4.2)", fmt.Sprint(q.Stats().Passive)})
+
+	// Naive: fresh one-shot evaluation per tick.
+	env2, err := Generate(Config{Sensors: sensors, Cameras: 1, Contacts: 1, Locations: 1, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	var naive int64
+	oneShot := query.NewInvoke(query.NewBase("sensors"), "getTemperature", "")
+	for i := 0; i < ticks; i++ {
+		res, err := query.Evaluate(oneShot, env2.Relations, env2.Registry, service.Instant(i))
+		if err != nil {
+			return nil, err
+		}
+		naive += res.Stats.Passive
+	}
+	t.Rows = append(t.Rows, []string{"naive re-invocation", fmt.Sprint(naive)})
+	return t, nil
+}
+
+// MemoAblation is ablation A-4: per-instant memoization of passive
+// invocations on a relation with duplicated service references.
+func MemoAblation(sensors, dups int) (*Table, error) {
+	t := &Table{
+		ID:     "A-4",
+		Title:  fmt.Sprintf("instant memoization (%d sensors, ×%d duplicated refs)", sensors, dups),
+		Header: []string{"mode", "physical invocations", "memo hits"},
+		Notes:  "duplicated (proto, ref, input) triples collapse to one physical call",
+	}
+	env, err := Generate(Config{Sensors: sensors, Cameras: 1, Contacts: 1, Locations: dups, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	// Build a relation where every sensor appears `dups` times with
+	// different locations (same ref → same invocation key).
+	base := env.Relations["sensors"]
+	var rows []value.Tuple
+	for _, tu := range base.Tuples() {
+		for d := 0; d < dups; d++ {
+			rows = append(rows, value.Tuple{tu[0], value.NewString(fmt.Sprintf("alias%02d", d))})
+		}
+	}
+	dupRel, err := newXRelation(base, rows)
+	if err != nil {
+		return nil, err
+	}
+	relations := query.MapEnv{"sensors": dupRel}
+	qn := query.NewInvoke(query.NewBase("sensors"), "getTemperature", "")
+
+	ctx := query.NewContext(relations, env.Registry, 0)
+	if _, err := qn.Eval(ctx); err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"memo on", fmt.Sprint(ctx.Stats.Passive), fmt.Sprint(ctx.Stats.Memoized)})
+
+	ctx2 := query.NewContext(relations, env.Registry, 1)
+	ctx2.Memo = nil
+	if _, err := qn.Eval(ctx2); err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"memo off", fmt.Sprint(ctx2.Stats.Passive), "0"})
+	return t, nil
+}
+
+// ParallelInvocationSweep is experiment B-8: wall time of a latency-bound
+// invocation operator as invocation parallelism grows (Section 5.1:
+// asynchronous invocation handling; sound per Section 3.2 determinism).
+func ParallelInvocationSweep(sensors int, latency time.Duration, workers []int) (*Table, error) {
+	t := &Table{
+		ID:     "B-8",
+		Title:  fmt.Sprintf("parallel invocation (%d sensors, %s/invoke)", sensors, latency),
+		Header: []string{"parallelism", "time", "speedup vs sequential"},
+		Notes:  "time ≈ ceil(sensors/parallelism) × latency until scheduling overhead dominates",
+	}
+	env, err := Generate(Config{Sensors: sensors, Cameras: 1, Contacts: 1, Locations: 1, ServiceLatency: latency, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	q := query.NewInvoke(query.NewBase("sensors"), "getTemperature", "")
+	var sequential time.Duration
+	for i, w := range workers {
+		ctx := query.NewContext(env.Relations, env.Registry, service.Instant(i))
+		ctx.Parallelism = w
+		start := time.Now()
+		if _, err := query.EvaluateCtx(q, ctx); err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		if i == 0 {
+			sequential = el
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w), d2(el), f2(float64(sequential) / float64(el)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,128 @@
+package catalog
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"serena/internal/stream"
+	"serena/internal/value"
+)
+
+// Dump renders the catalog as a re-executable Serena DDL script: prototype
+// declarations, relation/stream declarations, and INSERT statements for
+// the current contents of finite relations. Stream histories are NOT
+// dumped (streams are unbounded; their producers regenerate them).
+// Services are not dumped either — implementations live in code or are
+// discovered, not declared (the stub SERVICE form would lose behaviour).
+//
+// Executing the dump against a fresh catalog (with the same service
+// implementations registered) restores an equivalent environment; see
+// TestDumpRoundTrip.
+func (c *Catalog) Dump() string {
+	var b strings.Builder
+	b.WriteString("-- Serena DDL dump\n")
+	for _, p := range c.reg.Prototypes() {
+		b.WriteString(p.String())
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+	for _, name := range c.Names() {
+		x, err := c.Relation(name)
+		if err != nil {
+			continue
+		}
+		b.WriteString(relationDDL(x))
+		b.WriteString("\n")
+	}
+	for _, name := range c.Names() {
+		x, err := c.Relation(name)
+		if err != nil || x.Infinite() {
+			continue
+		}
+		rows := x.Current()
+		if len(rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "INSERT INTO %s VALUES\n", name)
+		for i, row := range rows {
+			b.WriteString("  ")
+			b.WriteString(rowLiteral(row))
+			if i < len(rows)-1 {
+				b.WriteString(",\n")
+			} else {
+				b.WriteString(";\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+// relationDDL renders one relation declaration, using EXTENDED STREAM for
+// infinite XD-Relations.
+func relationDDL(x *stream.XDRelation) string {
+	ddl := x.Schema().String()
+	if x.Infinite() {
+		ddl = strings.Replace(ddl, "EXTENDED RELATION ", "EXTENDED STREAM ", 1)
+	}
+	return ddl
+}
+
+// rowLiteral renders a tuple in INSERT-statement syntax.
+func rowLiteral(row value.Tuple) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = valueLiteral(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// valueLiteral renders one value as a DDL literal the parser accepts.
+func valueLiteral(v value.Value) string {
+	switch v.Kind() {
+	case value.Null:
+		return "null"
+	case value.Bool:
+		if v.Bool() {
+			return "true"
+		}
+		return "false"
+	case value.Int:
+		return strconv.FormatInt(v.Int(), 10)
+	case value.Real:
+		s := strconv.FormatFloat(v.Real(), 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0" // keep REAL typing through the parser
+		}
+		return s
+	case value.String:
+		return strconv.Quote(v.Str())
+	case value.Service:
+		ref := v.ServiceRef()
+		if isIdentifier(ref) {
+			return ref // bare identifiers parse back as service refs
+		}
+		return strconv.Quote(ref) // STRING literal; Conforms coerces to SERVICE
+	case value.Blob:
+		return "0x" + hex.EncodeToString(v.Blob())
+	}
+	return "null"
+}
+
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		letter := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if i == 0 && !letter {
+			return false
+		}
+		if !letter && !digit {
+			return false
+		}
+	}
+	return true
+}

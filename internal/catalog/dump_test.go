@@ -1,0 +1,82 @@
+package catalog_test
+
+import (
+	"strings"
+	"testing"
+
+	"serena/internal/catalog"
+	"serena/internal/paperenv"
+	"serena/internal/value"
+)
+
+func TestDumpRoundTrip(t *testing.T) {
+	c := newCatalog(t)
+	// Add some tricky values: a REAL without a decimal point, a NULL, a
+	// non-identifier service ref, a blob.
+	if err := c.ExecuteScript(`
+		EXTENDED RELATION extra (
+		  n INTEGER, r REAL, flag BOOLEAN, note STRING, svc SERVICE, data BLOB
+		);`, 0); err != nil {
+		t.Fatal(err)
+	}
+	extra, _ := c.Relation("extra")
+	if err := extra.Insert(0, value.Tuple{
+		value.NewInt(-3), value.NewReal(4), value.NewBool(true),
+		value.NewNull(), value.NewService("urn:svc/1"), value.NewBlob([]byte{1, 2, 0xff}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	dump := c.Dump()
+	for _, frag := range []string{
+		"PROTOTYPE sendMessage", "EXTENDED RELATION contacts",
+		"EXTENDED STREAM temperatures", "INSERT INTO contacts",
+		"4.0", `"urn:svc/1"`, "0x0102ff", "null",
+	} {
+		if !strings.Contains(dump, frag) {
+			t.Errorf("dump missing %q:\n%s", frag, dump)
+		}
+	}
+
+	// Restore into a fresh catalog (same live services).
+	reg2, _ := paperenv.MustRegistry()
+	c2 := catalog.New(reg2)
+	if err := c2.ExecuteScript(dump, 0); err != nil {
+		t.Fatalf("restoring dump failed: %v\n%s", err, dump)
+	}
+	if got, want := strings.Join(c2.Names(), ","), strings.Join(c.Names(), ","); got != want {
+		t.Fatalf("restored relations %q, want %q", got, want)
+	}
+	// Contents restored.
+	orig, _ := c.Relation("contacts")
+	restored, _ := c2.Relation("contacts")
+	if len(restored.Current()) != len(orig.Current()) {
+		t.Fatalf("contacts rows = %d, want %d", len(restored.Current()), len(orig.Current()))
+	}
+	if !restored.Schema().Equal(orig.Schema()) {
+		t.Fatal("contacts schema changed through dump/restore")
+	}
+	// Tricky row intact (including blob, REAL typing and quoted ref).
+	e2, _ := c2.Relation("extra")
+	rows := e2.Current()
+	if len(rows) != 1 {
+		t.Fatalf("extra rows = %d", len(rows))
+	}
+	row := rows[0]
+	if row[1].Kind() != value.Real || row[1].Real() != 4 {
+		t.Fatalf("REAL literal lost typing: %v (%s)", row[1], row[1].Kind())
+	}
+	if row[4].Kind() != value.Service || row[4].ServiceRef() != "urn:svc/1" {
+		t.Fatalf("service ref lost: %v (%s)", row[4], row[4].Kind())
+	}
+	if row[5].Kind() != value.Blob || len(row[5].Blob()) != 3 {
+		t.Fatalf("blob lost: %v", row[5])
+	}
+	if !row[3].IsNull() {
+		t.Fatalf("null lost: %v", row[3])
+	}
+	// Dump of the restored catalog is stable.
+	if c2.Dump() != dump {
+		t.Fatal("dump not idempotent across restore")
+	}
+}

@@ -1,0 +1,70 @@
+package cq_test
+
+import (
+	"testing"
+
+	"serena/internal/algebra"
+	"serena/internal/device"
+	"serena/internal/query"
+)
+
+// TestContinuousWindowedAggregate runs the Section 1.2 "mean temperature"
+// query continuously: per instant, the mean reading per location over the
+// last 3 instants.
+func TestContinuousWindowedAggregate(t *testing.T) {
+	s := newScenario(t)
+	plan := query.NewAggregate(
+		query.NewWindow(query.NewBase("temperatures"), 3),
+		[]string{"location"},
+		[]algebra.AggSpec{{Func: algebra.Mean, Attr: "temperature", As: "avgtemp"}})
+	q, err := s.exec.Register("means", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.exec.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	res := q.LastResult()
+	if res.Len() != 3 { // corridor, office, roof
+		t.Fatalf("groups = %d", res.Len())
+	}
+	sch := res.Schema()
+	li, ai := sch.RealIndex("location"), sch.RealIndex("avgtemp")
+	for _, tu := range res.Tuples() {
+		if tu[li].Str() == "office" && tu[ai].Real() != 21.5 {
+			t.Fatalf("office mean = %v, want 21.5", tu[ai])
+		}
+	}
+	// Heat one office sensor; the mean shifts on the next ticks; after the
+	// window slides past the event it returns to baseline.
+	s.dev.Sensors["sensor06"].Heat(device.HeatEvent{From: 6, To: 6, Delta: 9}) // 21 → 30 for one instant
+	if err := s.exec.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	got := officeMean(t, q.LastResult())
+	// Window at τ=6 covers instants 4,5,6: office readings 21,22 ×3 with one
+	// 30 → (21+22+21+22+30+22)/6 = 23. (Set semantics dedups the identical
+	// 21/22 readings: values {21, 22, 30} → mean 24.333333.)
+	if got != 24.333333 {
+		t.Fatalf("heated office mean = %v", got)
+	}
+	if err := s.exec.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := officeMean(t, q.LastResult()); got != 21.5 {
+		t.Fatalf("mean should return to baseline, got %v", got)
+	}
+}
+
+func officeMean(t *testing.T, r *algebra.XRelation) float64 {
+	t.Helper()
+	sch := r.Schema()
+	li, ai := sch.RealIndex("location"), sch.RealIndex("avgtemp")
+	for _, tu := range r.Tuples() {
+		if tu[li].Str() == "office" {
+			return tu[ai].Real()
+		}
+	}
+	t.Fatal("office group missing")
+	return 0
+}

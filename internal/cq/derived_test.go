@@ -1,0 +1,131 @@
+package cq_test
+
+import (
+	"testing"
+
+	"serena/internal/algebra"
+	"serena/internal/device"
+	"serena/internal/query"
+	"serena/internal/value"
+)
+
+// TestDerivedRelationChaining: a continuous query's output is readable by
+// later-registered queries under its name — continuous views.
+func TestDerivedRelationChaining(t *testing.T) {
+	s := newScenario(t)
+	// Stage 1: hot readings (finite derived relation named "hot").
+	hot, err := s.exec.Register("hot", query.NewSelect(
+		query.NewWindow(query.NewBase("temperatures"), 1),
+		algebra.Compare(algebra.Attr("temperature"), algebra.Gt, algebra.Const(value.NewReal(28)))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 2: alerts over the derived relation.
+	alerts, err := s.exec.Register("alerts", query.NewInvoke(
+		query.NewAssignConst(
+			query.NewJoin(query.NewBase("contacts"), query.NewBase("hot")),
+			"text", value.NewString("Hot!")),
+		"sendMessage", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.dev.Sensors["sensor06"].Heat(device.HeatEvent{From: 2, To: 4, Delta: 10})
+	if err := s.exec.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	if hot.LastResult().Len() != 0 {
+		t.Fatal("hot view should be empty after the event")
+	}
+	// 3 contacts × 1 hot episode, alerted once each via the derived view.
+	if alerts.Actions().Len() != 3 {
+		t.Fatalf("actions = %s", alerts.Actions())
+	}
+	total := len(s.dev.Messengers["email"].Outbox()) + len(s.dev.Messengers["jabber"].Outbox())
+	if total != 3 {
+		t.Fatalf("deliveries = %d, want 3", total)
+	}
+}
+
+func TestDerivedRelationLifecycle(t *testing.T) {
+	s := newScenario(t)
+	if _, err := s.exec.Register("v", query.NewBase("contacts")); err != nil {
+		t.Fatal(err)
+	}
+	// A query may not shadow an existing relation name, nor vice versa.
+	if _, err := s.exec.Register("contacts", query.NewBase("cameras")); err == nil {
+		t.Fatal("query shadowing a relation accepted")
+	}
+	if x, ok := s.exec.Relation("v"); !ok || x == nil {
+		t.Fatal("derived relation not visible")
+	}
+	if err := s.exec.Unregister("v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.exec.Relation("v"); ok {
+		t.Fatal("derived relation should disappear with its query")
+	}
+}
+
+// TestStreamTrimming: with windowed readers registered, stream logs stay
+// bounded by the largest window period instead of growing forever.
+func TestStreamTrimming(t *testing.T) {
+	s := newScenario(t)
+	if _, err := s.exec.Register("w3", query.NewWindow(query.NewBase("temperatures"), 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.exec.Register("w10", query.NewWindow(query.NewBase("temperatures"), 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.exec.RunUntil(99); err != nil {
+		t.Fatal(err)
+	}
+	// 4 sensors × 100 instants = 400 events; retention = max window (10) +
+	// slack, so the log must be far below 400 and at least 10 instants deep.
+	temps, _ := s.exec.Relation("temperatures")
+	if got := temps.EventCount(); got > 4*13 || got < 4*10 {
+		t.Fatalf("trimmed log = %d events, want ≈ 4×11", got)
+	}
+	// The larger window still evaluates correctly after trimming.
+	if q, _ := s.exec.Register("w10b", query.NewWindow(query.NewBase("temperatures"), 10)); q != nil {
+		if err := s.exec.RunUntil(100); err != nil {
+			t.Fatal(err)
+		}
+		if q.LastResult().Len() != 4 {
+			t.Fatalf("windowed result after trim = %d", q.LastResult().Len())
+		}
+	}
+}
+
+// TestNoTrimWithoutWindows: streams nobody windows are left intact.
+func TestNoTrimWithoutWindows(t *testing.T) {
+	s := newScenario(t)
+	if err := s.exec.RunUntil(49); err != nil {
+		t.Fatal(err)
+	}
+	temps, _ := s.exec.Relation("temperatures")
+	if got := temps.EventCount(); got != 4*50 {
+		t.Fatalf("untrimmed log = %d events, want 200", got)
+	}
+}
+
+// TestExecutorParallelInvocation: SetParallelism keeps continuous-query
+// semantics (delta caches, actions) intact.
+func TestExecutorParallelInvocation(t *testing.T) {
+	s := newScenario(t)
+	s.exec.SetParallelism(4)
+	q, err := s.exec.Register("q3p", q3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.dev.Sensors["sensor06"].Heat(device.HeatEvent{From: 3, To: 6, Delta: 20})
+	if err := s.exec.RunUntil(8); err != nil {
+		t.Fatal(err)
+	}
+	if q.Actions().Len() != 3 {
+		t.Fatalf("actions = %s", q.Actions())
+	}
+	total := len(s.dev.Messengers["email"].Outbox()) + len(s.dev.Messengers["jabber"].Outbox())
+	if total != 3 {
+		t.Fatalf("deliveries = %d, want 3 (once per contact per episode)", total)
+	}
+}

@@ -1,0 +1,295 @@
+package ddl_test
+
+import (
+	"strings"
+	"testing"
+
+	"serena/internal/ddl"
+	"serena/internal/value"
+)
+
+// table1 is the pseudo-DDL of the paper's Table 1, verbatim.
+const table1 = `
+PROTOTYPE sendMessage( address STRING, text STRING ) : (sent BOOLEAN) ACTIVE;
+PROTOTYPE checkPhoto( area STRING ) : (quality INTEGER, delay REAL );
+PROTOTYPE takePhoto( area STRING, quality INTEGER ) : (photo BLOB );
+PROTOTYPE getTemperature( ) : (temperature REAL );
+SERVICE email IMPLEMENTS sendMessage;
+SERVICE jabber IMPLEMENTS sendMessage;
+SERVICE camera01 IMPLEMENTS checkPhoto, takePhoto;
+SERVICE camera02 IMPLEMENTS checkPhoto, takePhoto;
+SERVICE webcam07 IMPLEMENTS checkPhoto, takePhoto;
+SERVICE sensor01 IMPLEMENTS getTemperature;
+SERVICE sensor06 IMPLEMENTS getTemperature;
+SERVICE sensor07 IMPLEMENTS getTemperature;
+SERVICE sensor22 IMPLEMENTS getTemperature;
+`
+
+// table2 is the pseudo-DDL of the paper's Table 2, verbatim.
+const table2 = `
+EXTENDED RELATION contacts (
+  name STRING,
+  address STRING,
+  text STRING VIRTUAL,
+  messenger SERVICE,
+  sent BOOLEAN VIRTUAL
+)
+USING BINDING PATTERNS (
+  sendMessage[messenger] ( address, text ) : ( sent )
+);
+EXTENDED RELATION cameras (
+  camera SERVICE,
+  area STRING,
+  quality INTEGER VIRTUAL,
+  delay REAL VIRTUAL,
+  photo BLOB VIRTUAL
+)
+USING BINDING PATTERNS (
+  checkPhoto[camera] ( area ) : ( quality, delay ),
+  takePhoto[camera] ( area, quality ) : ( photo )
+);
+`
+
+func TestTable1DDL(t *testing.T) {
+	sts, err := ddl.Parse(table1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 13 {
+		t.Fatalf("got %d statements, want 13", len(sts))
+	}
+	send, ok := sts[0].(*ddl.CreatePrototype)
+	if !ok {
+		t.Fatalf("statement 0 = %T", sts[0])
+	}
+	if send.Name != "sendMessage" || !send.Active {
+		t.Fatalf("sendMessage = %+v", send)
+	}
+	if len(send.Inputs) != 2 || send.Inputs[0] != (ddl.Param{Name: "address", Type: value.String}) {
+		t.Fatalf("sendMessage inputs = %+v", send.Inputs)
+	}
+	if len(send.Outputs) != 1 || send.Outputs[0] != (ddl.Param{Name: "sent", Type: value.Bool}) {
+		t.Fatalf("sendMessage outputs = %+v", send.Outputs)
+	}
+	check := sts[1].(*ddl.CreatePrototype)
+	if check.Active {
+		t.Fatal("checkPhoto must be passive")
+	}
+	if len(check.Outputs) != 2 || check.Outputs[1].Type != value.Real {
+		t.Fatalf("checkPhoto outputs = %+v", check.Outputs)
+	}
+	temp := sts[3].(*ddl.CreatePrototype)
+	if len(temp.Inputs) != 0 {
+		t.Fatalf("getTemperature inputs = %+v", temp.Inputs)
+	}
+	cam := sts[6].(*ddl.CreateService)
+	if cam.Ref != "camera01" || len(cam.Prototypes) != 2 || cam.Prototypes[1] != "takePhoto" {
+		t.Fatalf("camera01 = %+v", cam)
+	}
+}
+
+func TestTable2DDL(t *testing.T) {
+	sts, err := ddl.Parse(table2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 2 {
+		t.Fatalf("got %d statements, want 2", len(sts))
+	}
+	contacts := sts[0].(*ddl.CreateRelation)
+	if contacts.Name != "contacts" || contacts.Stream {
+		t.Fatalf("contacts = %+v", contacts)
+	}
+	if len(contacts.Attrs) != 5 {
+		t.Fatalf("contacts attrs = %+v", contacts.Attrs)
+	}
+	if !contacts.Attrs[2].Virtual || contacts.Attrs[2].Name != "text" {
+		t.Fatalf("text attr = %+v", contacts.Attrs[2])
+	}
+	if contacts.Attrs[3].Type != value.Service || contacts.Attrs[3].Virtual {
+		t.Fatalf("messenger attr = %+v", contacts.Attrs[3])
+	}
+	if len(contacts.BPs) != 1 {
+		t.Fatalf("contacts BPs = %+v", contacts.BPs)
+	}
+	bp := contacts.BPs[0]
+	if bp.Proto != "sendMessage" || bp.ServiceAttr != "messenger" || !bp.Explicit {
+		t.Fatalf("bp = %+v", bp)
+	}
+	if len(bp.Inputs) != 2 || bp.Inputs[1] != "text" || len(bp.Outputs) != 1 || bp.Outputs[0] != "sent" {
+		t.Fatalf("bp params = %+v", bp)
+	}
+	cameras := sts[1].(*ddl.CreateRelation)
+	if len(cameras.BPs) != 2 || cameras.BPs[1].Proto != "takePhoto" {
+		t.Fatalf("cameras BPs = %+v", cameras.BPs)
+	}
+}
+
+func TestStreamDDL(t *testing.T) {
+	st, err := ddl.ParseOne(`EXTENDED STREAM temperatures (
+		sensor SERVICE, location STRING, temperature REAL );`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := st.(*ddl.CreateRelation)
+	if !rel.Stream || rel.Name != "temperatures" || len(rel.Attrs) != 3 {
+		t.Fatalf("stream = %+v", rel)
+	}
+	// Short form: STREAM also accepted.
+	st2, err := ddl.ParseOne(`STREAM t2 ( x INTEGER );`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.(*ddl.CreateRelation).Stream {
+		t.Fatal("STREAM shorthand broken")
+	}
+}
+
+func TestBPWithoutExplicitParams(t *testing.T) {
+	st, err := ddl.ParseOne(`EXTENDED RELATION sensors (
+		sensor SERVICE, location STRING, temperature REAL VIRTUAL )
+		USING BINDING PATTERNS ( getTemperature[sensor] );`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := st.(*ddl.CreateRelation)
+	if len(rel.BPs) != 1 || rel.BPs[0].Explicit {
+		t.Fatalf("BPs = %+v", rel.BPs)
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	st, err := ddl.ParseOne(`INSERT INTO contacts VALUES
+		("Nicolas", "nicolas@elysee.fr", email),
+		("Carla", "carla@elysee.fr", email);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*ddl.Insert)
+	if ins.Relation != "contacts" || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if ins.Rows[0][0].Str() != "Nicolas" {
+		t.Fatalf("row 0 = %v", ins.Rows[0])
+	}
+	if ins.Rows[0][2].Kind() != value.Service || ins.Rows[0][2].ServiceRef() != "email" {
+		t.Fatalf("bare identifier should parse as service ref: %v", ins.Rows[0][2])
+	}
+	st2, err := ddl.ParseOne(`DELETE FROM contacts VALUES ("Carla", "carla@elysee.fr", email);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := st2.(*ddl.Delete)
+	if del.Relation != "contacts" || len(del.Rows) != 1 {
+		t.Fatalf("delete = %+v", del)
+	}
+}
+
+func TestLiteralKinds(t *testing.T) {
+	st, err := ddl.ParseOne(`INSERT INTO r VALUES (42, -3.5, true, FALSE, null, *, "str");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := st.(*ddl.Insert).Rows[0]
+	kinds := []value.Kind{value.Int, value.Real, value.Bool, value.Bool, value.Null, value.Null, value.String}
+	for i, k := range kinds {
+		if row[i].Kind() != k {
+			t.Errorf("literal %d = %s, want %s", i, row[i].Kind(), k)
+		}
+	}
+}
+
+func TestDrop(t *testing.T) {
+	st, err := ddl.ParseOne(`DROP RELATION contacts;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*ddl.Drop).Name != "contacts" {
+		t.Fatalf("drop = %+v", st)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`PROTOTYPE ( x INTEGER ) : ( y INTEGER );`,  // missing name
+		`PROTOTYPE p ( x INTEGER ) ( y INTEGER );`,  // missing ':'
+		`PROTOTYPE p ( x WIBBLE ) : ( y INTEGER );`, // unknown type
+		`PROTOTYPE p ( x INTEGER ) : ( y INTEGER )`, // missing ';'
+		`SERVICE s;`,                      // missing IMPLEMENTS
+		`EXTENDED TABLE t ( x INTEGER );`, // TABLE is not a keyword
+		`EXTENDED RELATION t ( x INTEGER ) USING ( p[x] );`, // missing BINDING PATTERNS
+		`INSERT contacts VALUES (1);`,                       // missing INTO
+		`INSERT INTO contacts (1);`,                         // missing VALUES
+		`DROP t;`,                                           // missing RELATION
+		`FROBNICATE;`,                                       // unknown statement
+		``,                                                  // caught by ParseOne
+	}
+	for _, src := range bad {
+		if _, err := ddl.ParseOne(src); err == nil {
+			t.Errorf("accepted invalid DDL: %s", src)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	_, err := ddl.Parse(`prototype p ( ) : ( y integer ) active;
+		extended relation r ( a string virtual, s service )
+		using binding patterns ( p[s] );`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommentsInDDL(t *testing.T) {
+	_, err := ddl.Parse(`-- declare the messaging prototype
+		PROTOTYPE p ( ) : ( y INTEGER ); /* inline */ SERVICE s IMPLEMENTS p;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterQueryStatement(t *testing.T) {
+	st, err := ddl.ParseOne(`REGISTER QUERY alerts AS
+		invoke[sendMessage](assign[text := "Hot!"](select[name != "Carla"](contacts)));`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq := st.(*ddl.RegisterQuery)
+	if rq.Name != "alerts" {
+		t.Fatalf("name = %q", rq.Name)
+	}
+	// The re-rendered source must contain the quoted literals verbatim.
+	for _, frag := range []string{"invoke", "sendMessage", `"Hot!"`, `"Carla"`, ":="} {
+		if !strings.Contains(rq.Source, frag) {
+			t.Errorf("source missing %q: %s", frag, rq.Source)
+		}
+	}
+	// SQL body.
+	st2, err := ddl.ParseOne(`REGISTER QUERY means AS
+		SELECT location, mean(temperature) AS avg FROM temperatures[5] GROUP BY location;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src := st2.(*ddl.RegisterQuery).Source; !strings.HasPrefix(src, "SELECT ") {
+		t.Fatalf("SQL source = %q", src)
+	}
+	// Unregister.
+	st3, err := ddl.ParseOne(`UNREGISTER QUERY alerts;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.(*ddl.UnregisterQuery).Name != "alerts" {
+		t.Fatal("unregister name wrong")
+	}
+	// Errors.
+	for _, src := range []string{
+		`REGISTER QUERY x AS ;`,
+		`REGISTER QUERY x AS select[true](r)`, // missing ';'
+		`REGISTER x AS r;`,
+		`UNREGISTER QUERY;`,
+	} {
+		if _, err := ddl.ParseOne(src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}

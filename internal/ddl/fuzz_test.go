@@ -1,0 +1,34 @@
+package ddl_test
+
+import (
+	"testing"
+
+	"serena/internal/ddl"
+)
+
+// FuzzParse asserts the DDL parser never panics on arbitrary input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`PROTOTYPE p( a STRING ) : ( b BOOLEAN ) ACTIVE;`,
+		`SERVICE s IMPLEMENTS p, q;`,
+		`EXTENDED RELATION r ( a STRING, b REAL VIRTUAL, s SERVICE )
+		 USING BINDING PATTERNS ( p[s] ( a ) : ( b ) );`,
+		`EXTENDED STREAM t ( x INTEGER );`,
+		`INSERT INTO r VALUES ("x", 1.5, svc), (null, *, "q");`,
+		`DELETE FROM r VALUES (1);`,
+		`DROP RELATION r;`,
+		`REGISTER QUERY q AS select[a = 1](r);`,
+		`UNREGISTER QUERY q;`,
+		`-- comment only`,
+		`PROTOTYPE`,
+		`INSERT INTO`,
+		"EXTENDED RELATION r ( \xff );",
+		`INSERT INTO r VALUES (0xdeadbeef);`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ddl.Parse(src) // must not panic
+	})
+}

@@ -1,0 +1,416 @@
+// Package device provides simulated pervasive-environment devices wrapped
+// as Serena services: temperature sensors, network cameras, message
+// gateways (email/jabber/sms) and RSS feeds.
+//
+// These replace the paper's physical testbed (Thermochron iButton sensors,
+// Logitech webcams, Openfire IM server, Clickatel SMS gateway, newspaper
+// RSS feeds — Section 5.2). Every device is deterministic in
+// (reference, instant), honouring the paper's assumption that services are
+// deterministic at a given time instant (Section 3.2), which makes
+// experiments reproducible and memoization sound.
+package device
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"serena/internal/schema"
+	"serena/internal/service"
+	"serena/internal/value"
+)
+
+// Canonical prototype declarations of the temperature-surveillance scenario
+// (paper Table 1). Devices implement these names; environments must declare
+// them in their registry before registering devices.
+
+// SendMessageProto returns the ACTIVE prototype
+// sendMessage(address STRING, text STRING) : (sent BOOLEAN).
+func SendMessageProto() *schema.Prototype {
+	return schema.MustPrototype("sendMessage",
+		schema.MustRel(
+			schema.Attribute{Name: "address", Type: value.String},
+			schema.Attribute{Name: "text", Type: value.String}),
+		schema.MustRel(schema.Attribute{Name: "sent", Type: value.Bool}),
+		true)
+}
+
+// CheckPhotoProto returns the passive prototype
+// checkPhoto(area STRING) : (quality INTEGER, delay REAL).
+func CheckPhotoProto() *schema.Prototype {
+	return schema.MustPrototype("checkPhoto",
+		schema.MustRel(schema.Attribute{Name: "area", Type: value.String}),
+		schema.MustRel(
+			schema.Attribute{Name: "quality", Type: value.Int},
+			schema.Attribute{Name: "delay", Type: value.Real}),
+		false)
+}
+
+// TakePhotoProto returns the passive prototype
+// takePhoto(area STRING, quality INTEGER) : (photo BLOB).
+func TakePhotoProto() *schema.Prototype {
+	return schema.MustPrototype("takePhoto",
+		schema.MustRel(
+			schema.Attribute{Name: "area", Type: value.String},
+			schema.Attribute{Name: "quality", Type: value.Int}),
+		schema.MustRel(schema.Attribute{Name: "photo", Type: value.Blob}),
+		false)
+}
+
+// GetTemperatureProto returns the passive prototype
+// getTemperature() : (temperature REAL).
+func GetTemperatureProto() *schema.Prototype {
+	return schema.MustPrototype("getTemperature", nil,
+		schema.MustRel(schema.Attribute{Name: "temperature", Type: value.Real}),
+		false)
+}
+
+// ScenarioPrototypes returns the four prototypes of Table 1 in declaration
+// order.
+func ScenarioPrototypes() []*schema.Prototype {
+	return []*schema.Prototype{
+		SendMessageProto(), CheckPhotoProto(), TakePhotoProto(), GetTemperatureProto(),
+	}
+}
+
+// hash01 maps (parts, at) to a deterministic pseudo-random float in [0,1).
+func hash01(at service.Instant, parts ...string) float64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		_, _ = h.Write([]byte(p))
+		_, _ = h.Write([]byte{0})
+	}
+	var buf [8]byte
+	v := uint64(at)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+// ---------------------------------------------------------------------------
+// Temperature sensor.
+
+// HeatEvent raises a sensor's reading by Delta over the inclusive instant
+// interval [From, To] — the experiment's "sensors are heated over the
+// threshold" stimulus.
+type HeatEvent struct {
+	From, To service.Instant
+	Delta    float64
+}
+
+// Sensor simulates a Thermochron-style temperature sensor. The reading at
+// instant τ is
+//
+//	base + amplitude·sin(2π·τ/period) + noise(ref,τ) + Σ active heat events
+//
+// which is deterministic in (ref, τ).
+type Sensor struct {
+	ref       string
+	location  string
+	base      float64
+	amplitude float64
+	period    float64
+	noise     float64
+
+	mu     sync.Mutex
+	events []HeatEvent
+	count  int64 // number of invocations, for tests/benches
+}
+
+// SensorOption configures a Sensor.
+type SensorOption func(*Sensor)
+
+// WithDailyCycle sets a sinusoidal temperature cycle.
+func WithDailyCycle(amplitude, period float64) SensorOption {
+	return func(s *Sensor) { s.amplitude, s.period = amplitude, period }
+}
+
+// WithNoise sets the deterministic pseudo-noise amplitude.
+func WithNoise(a float64) SensorOption {
+	return func(s *Sensor) { s.noise = a }
+}
+
+// NewSensor builds a sensor service with the given base temperature.
+func NewSensor(ref, location string, base float64, opts ...SensorOption) *Sensor {
+	s := &Sensor{ref: ref, location: location, base: base, period: 1440}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Ref implements service.Service.
+func (s *Sensor) Ref() string { return s.ref }
+
+// Location returns the sensor's placement (used to build environment
+// tables; not exposed through the prototype, matching the paper where
+// location is a real attribute of the sensors relation).
+func (s *Sensor) Location() string { return s.location }
+
+// PrototypeNames implements service.Service.
+func (s *Sensor) PrototypeNames() []string { return []string{"getTemperature"} }
+
+// Implements implements service.Service.
+func (s *Sensor) Implements(p string) bool { return p == "getTemperature" }
+
+// Heat schedules a heat event.
+func (s *Sensor) Heat(ev HeatEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, ev)
+}
+
+// TemperatureAt returns the deterministic reading at an instant.
+func (s *Sensor) TemperatureAt(at service.Instant) float64 {
+	t := s.base
+	if s.amplitude != 0 && s.period > 0 {
+		t += s.amplitude * math.Sin(2*math.Pi*float64(at)/s.period)
+	}
+	if s.noise > 0 {
+		t += (hash01(at, "sensor", s.ref) - 0.5) * 2 * s.noise
+	}
+	s.mu.Lock()
+	for _, ev := range s.events {
+		if at >= ev.From && at <= ev.To {
+			t += ev.Delta
+		}
+	}
+	s.mu.Unlock()
+	return math.Round(t*100) / 100
+}
+
+// Invocations returns how many times the sensor was invoked.
+func (s *Sensor) Invocations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Invoke implements service.Service.
+func (s *Sensor) Invoke(proto string, _ value.Tuple, at service.Instant) ([]value.Tuple, error) {
+	if proto != "getTemperature" {
+		return nil, fmt.Errorf("%w: %s on %s", service.ErrNotImplemented, proto, s.ref)
+	}
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+	return []value.Tuple{{value.NewReal(s.TemperatureAt(at))}}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Camera.
+
+// Camera simulates a network camera implementing checkPhoto and takePhoto.
+// checkPhoto reports a deterministic quality/delay pair that degrades when
+// the requested area is not the camera's own; takePhoto produces a
+// deterministic pseudo-JPEG blob whose size grows with quality.
+type Camera struct {
+	ref     string
+	area    string
+	quality int64
+	delay   float64
+
+	mu    sync.Mutex
+	shots int64
+}
+
+// NewCamera builds a camera covering the given area with a native quality
+// level (0–10) and base shutter delay in seconds.
+func NewCamera(ref, area string, quality int64, delay float64) *Camera {
+	return &Camera{ref: ref, area: area, quality: quality, delay: delay}
+}
+
+// Ref implements service.Service.
+func (c *Camera) Ref() string { return c.ref }
+
+// Area returns the area the camera covers.
+func (c *Camera) Area() string { return c.area }
+
+// PrototypeNames implements service.Service.
+func (c *Camera) PrototypeNames() []string { return []string{"checkPhoto", "takePhoto"} }
+
+// Implements implements service.Service.
+func (c *Camera) Implements(p string) bool { return p == "checkPhoto" || p == "takePhoto" }
+
+// Shots returns how many photos were taken.
+func (c *Camera) Shots() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shots
+}
+
+// Invoke implements service.Service.
+func (c *Camera) Invoke(proto string, input value.Tuple, at service.Instant) ([]value.Tuple, error) {
+	switch proto {
+	case "checkPhoto":
+		area := input[0].Str()
+		q, d := c.assess(area, at)
+		if q < 0 {
+			return nil, nil // cannot photograph this area: empty relation
+		}
+		return []value.Tuple{{value.NewInt(q), value.NewReal(d)}}, nil
+	case "takePhoto":
+		area := input[0].Str()
+		q := input[1].Int()
+		have, _ := c.assess(area, at)
+		if have < 0 {
+			return nil, nil
+		}
+		if q > have {
+			q = have
+		}
+		if q < 0 {
+			q = 0
+		}
+		c.mu.Lock()
+		c.shots++
+		c.mu.Unlock()
+		return []value.Tuple{{value.NewBlob(c.renderPhoto(area, q, at))}}, nil
+	}
+	return nil, fmt.Errorf("%w: %s on %s", service.ErrNotImplemented, proto, c.ref)
+}
+
+// assess returns the achievable (quality, delay) for an area at an instant;
+// quality −1 means the area is out of reach.
+func (c *Camera) assess(area string, at service.Instant) (int64, float64) {
+	q := c.quality
+	d := c.delay
+	if area != c.area {
+		return -1, 0
+	}
+	// Lighting varies deterministically over time: ±2 quality levels.
+	q += int64(math.Round((hash01(at, "cam", c.ref) - 0.5) * 4))
+	if q < 0 {
+		q = 0
+	}
+	if q > 10 {
+		q = 10
+	}
+	d += hash01(at, "camdelay", c.ref) * 0.5
+	return q, math.Round(d*1000) / 1000
+}
+
+// renderPhoto produces a deterministic pseudo-image: a tagged header plus a
+// hash-generated payload sized by quality.
+func (c *Camera) renderPhoto(area string, quality int64, at service.Instant) []byte {
+	header := fmt.Sprintf("PHOTO:%s:%s:q%d:t%d:", c.ref, area, quality, at)
+	size := 64 * (quality + 1)
+	buf := make([]byte, 0, len(header)+int(size))
+	buf = append(buf, header...)
+	seed := hash01(at, "photo", c.ref, area)
+	x := uint32(seed * float64(math.MaxUint32))
+	for i := int64(0); i < size; i++ {
+		x = x*1664525 + 1013904223
+		buf = append(buf, byte(x>>24))
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// Messenger.
+
+// Delivery records one accepted message — the observable side effect of an
+// active sendMessage invocation.
+type Delivery struct {
+	At      service.Instant
+	Address string
+	Text    string
+}
+
+// Messenger simulates a message gateway (email server, jabber server, SMS
+// gateway). All accepted messages are appended to an outbox so tests can
+// assert on the exact physical effects of active invocations.
+type Messenger struct {
+	ref  string
+	kind string
+
+	mu       sync.Mutex
+	outbox   []Delivery
+	failAddr map[string]bool
+	errAddr  map[string]bool
+	latency  time.Duration
+}
+
+// NewMessenger builds a messenger gateway of the given kind
+// ("email", "jabber", "sms", …).
+func NewMessenger(ref, kind string) *Messenger {
+	return &Messenger{ref: ref, kind: kind, failAddr: map[string]bool{}, errAddr: map[string]bool{}}
+}
+
+// Ref implements service.Service.
+func (m *Messenger) Ref() string { return m.ref }
+
+// Kind returns the gateway kind.
+func (m *Messenger) Kind() string { return m.kind }
+
+// PrototypeNames implements service.Service.
+func (m *Messenger) PrototypeNames() []string { return []string{"sendMessage"} }
+
+// Implements implements service.Service.
+func (m *Messenger) Implements(p string) bool { return p == "sendMessage" }
+
+// FailFor makes deliveries to an address report sent=false (soft failure).
+func (m *Messenger) FailFor(address string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failAddr[address] = true
+}
+
+// ErrorFor makes deliveries to an address return an invocation error
+// (network-level failure).
+func (m *Messenger) ErrorFor(address string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.errAddr[address] = true
+}
+
+// SetLatency injects a synchronous delivery latency (for cost benchmarks).
+func (m *Messenger) SetLatency(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latency = d
+}
+
+// Outbox returns a copy of all accepted deliveries.
+func (m *Messenger) Outbox() []Delivery {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Delivery, len(m.outbox))
+	copy(out, m.outbox)
+	return out
+}
+
+// Reset clears the outbox.
+func (m *Messenger) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.outbox = nil
+}
+
+// Invoke implements service.Service.
+func (m *Messenger) Invoke(proto string, input value.Tuple, at service.Instant) ([]value.Tuple, error) {
+	if proto != "sendMessage" {
+		return nil, fmt.Errorf("%w: %s on %s", service.ErrNotImplemented, proto, m.ref)
+	}
+	address, text := input[0].Str(), input[1].Str()
+	m.mu.Lock()
+	latency := m.latency
+	if m.errAddr[address] {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("device: %s: cannot reach %s", m.ref, address)
+	}
+	if m.failAddr[address] {
+		m.mu.Unlock()
+		return []value.Tuple{{value.NewBool(false)}}, nil
+	}
+	m.outbox = append(m.outbox, Delivery{At: at, Address: address, Text: text})
+	m.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	return []value.Tuple{{value.NewBool(true)}}, nil
+}

@@ -1,0 +1,360 @@
+// Package discovery implements the dynamic service-discovery half of the
+// PEMS Environment Resource Manager (Gripay et al., EDBT 2010, Figure 1 and
+// Section 5.1): Local ERMs announce themselves on a bus (the stand-in for
+// UPnP SSDP multicast), and the core ERM's Manager dials announced nodes,
+// describes their services and registers remote proxies into the central
+// registry — unregistering them on bye messages, lease expiry or connection
+// failure. Newly discovered services become visible to running continuous
+// queries without restarting them (the Section 5.2 experiment).
+package discovery
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"serena/internal/service"
+	"serena/internal/wire"
+)
+
+// Kind tags announcements.
+type Kind uint8
+
+// Announcement kinds, mirroring SSDP ssdp:alive / ssdp:byebye.
+const (
+	Alive Kind = iota
+	Bye
+)
+
+// Announcement is one presence message from a Local ERM.
+type Announcement struct {
+	Kind Kind
+	Node string
+	Addr string // TCP address of the node's wire server
+}
+
+// Bus transports announcements between Local ERMs and core ERMs. The
+// in-process implementation stands in for UDP multicast; its semantics
+// (fire-and-forget fan-out) match.
+type Bus interface {
+	// Announce broadcasts a message to all current subscribers.
+	Announce(a Announcement)
+	// Subscribe returns a channel of future announcements and a cancel
+	// function.
+	Subscribe() (<-chan Announcement, func())
+}
+
+// InProcBus is a Bus for tests, examples and single-process deployments.
+type InProcBus struct {
+	mu   sync.Mutex
+	subs map[int]chan Announcement
+	next int
+}
+
+// NewInProcBus returns an empty bus.
+func NewInProcBus() *InProcBus {
+	return &InProcBus{subs: make(map[int]chan Announcement)}
+}
+
+// Announce implements Bus.
+func (b *InProcBus) Announce(a Announcement) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- a:
+		default: // slow subscriber: drop, like multicast would
+		}
+	}
+}
+
+// Subscribe implements Bus.
+func (b *InProcBus) Subscribe() (<-chan Announcement, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.next
+	b.next++
+	ch := make(chan Announcement, 128)
+	b.subs[id] = ch
+	return ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+	}
+}
+
+// Node is a Local Environment Resource Manager: a wire server over a local
+// registry plus bus announcements. Services register to their Node and are
+// then transparently available through any core ERM (Section 5.1).
+type Node struct {
+	name   string
+	bus    Bus
+	local  *service.Registry
+	server *wire.Server
+	addr   string
+}
+
+// NewNode creates a Local ERM with its own local registry.
+func NewNode(name string, bus Bus) *Node {
+	reg := service.NewRegistry()
+	return &Node{name: name, bus: bus, local: reg, server: wire.NewServer(name, reg)}
+}
+
+// Registry returns the node's local registry (declare prototypes and
+// register device services here).
+func (n *Node) Registry() *service.Registry { return n.local }
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Addr returns the bound wire address (after Start).
+func (n *Node) Addr() string { return n.addr }
+
+// Start listens on addr ("127.0.0.1:0" for ephemeral) and announces the
+// node on the bus.
+func (n *Node) Start(addr string) error {
+	bound, err := n.server.Listen(addr)
+	if err != nil {
+		return err
+	}
+	n.addr = bound
+	n.bus.Announce(Announcement{Kind: Alive, Node: n.name, Addr: bound})
+	return nil
+}
+
+// Announce re-broadcasts an alive message (lease renewal).
+func (n *Node) Announce() {
+	if n.addr != "" {
+		n.bus.Announce(Announcement{Kind: Alive, Node: n.name, Addr: n.addr})
+	}
+}
+
+// Stop announces a bye and shuts the wire server down.
+func (n *Node) Stop() error {
+	if n.addr != "" {
+		n.bus.Announce(Announcement{Kind: Bye, Node: n.name, Addr: n.addr})
+	}
+	return n.server.Close()
+}
+
+// Manager is the discovery side of the core ERM: it subscribes to the bus
+// and maintains remote-service proxies inside the central registry.
+type Manager struct {
+	central *service.Registry
+	bus     Bus
+	timeout time.Duration
+	lease   time.Duration
+
+	mu     sync.Mutex
+	nodes  map[string]*nodeState // by node name
+	cancel func()
+	wg     sync.WaitGroup
+	donec  chan struct{}
+}
+
+type nodeState struct {
+	addr     string
+	client   *wire.Client
+	refs     []string
+	deadline time.Time
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithDialTimeout sets the wire dial/IO timeout (default 2s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(m *Manager) { m.timeout = d }
+}
+
+// WithLease sets how long a node stays registered without re-announcing
+// (default 30s; 0 disables expiry).
+func WithLease(d time.Duration) Option {
+	return func(m *Manager) { m.lease = d }
+}
+
+// NewManager builds a core-ERM discovery manager feeding the central
+// registry.
+func NewManager(central *service.Registry, bus Bus, opts ...Option) *Manager {
+	m := &Manager{
+		central: central,
+		bus:     bus,
+		timeout: 2 * time.Second,
+		lease:   30 * time.Second,
+		nodes:   make(map[string]*nodeState),
+		donec:   make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Start subscribes to the bus and processes announcements until Stop.
+func (m *Manager) Start() {
+	ch, cancel := m.bus.Subscribe()
+	m.mu.Lock()
+	m.cancel = cancel
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for a := range ch {
+			switch a.Kind {
+			case Alive:
+				if err := m.handleAlive(a); err != nil {
+					// Unreachable node: ignore; it may re-announce later.
+					continue
+				}
+			case Bye:
+				m.removeNode(a.Node)
+			}
+		}
+	}()
+}
+
+// Stop unsubscribes and drops all discovered services.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	cancel := m.cancel
+	m.cancel = nil
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	m.wg.Wait()
+	m.mu.Lock()
+	names := make([]string, 0, len(m.nodes))
+	for name := range m.nodes {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	for _, n := range names {
+		m.removeNode(n)
+	}
+}
+
+// handleAlive dials and (re-)registers a node's services.
+func (m *Manager) handleAlive(a Announcement) error {
+	m.mu.Lock()
+	st, known := m.nodes[a.Node]
+	if known && st.addr == a.Addr {
+		st.deadline = time.Now().Add(m.lease)
+		m.mu.Unlock()
+		return nil // lease renewal
+	}
+	m.mu.Unlock()
+	if known {
+		m.removeNode(a.Node) // node moved address
+	}
+	client, err := wire.Dial(a.Addr, m.timeout)
+	if err != nil {
+		return err
+	}
+	node, infos, err := client.Describe()
+	if err != nil {
+		_ = client.Close()
+		return err
+	}
+	if node != a.Node {
+		_ = client.Close()
+		return fmt.Errorf("discovery: node %q announced as %q", node, a.Node)
+	}
+	st = &nodeState{addr: a.Addr, client: client, deadline: time.Now().Add(m.lease)}
+	for _, info := range infos {
+		proxy := wire.NewRemote(client, info)
+		if err := m.central.Register(proxy); err != nil {
+			continue // ref collision with a local/previous service: skip
+		}
+		st.refs = append(st.refs, info.Ref)
+	}
+	m.mu.Lock()
+	m.nodes[a.Node] = st
+	m.mu.Unlock()
+	return nil
+}
+
+// removeNode unregisters a node's services and closes its client.
+func (m *Manager) removeNode(name string) {
+	m.mu.Lock()
+	st, ok := m.nodes[name]
+	if ok {
+		delete(m.nodes, name)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	for _, ref := range st.refs {
+		_ = m.central.Unregister(ref)
+	}
+	_ = st.client.Close()
+}
+
+// Refresh rediscovers a known node's service list (e.g. after it gained a
+// new device). It re-describes and registers any new services.
+func (m *Manager) Refresh(nodeName string) error {
+	m.mu.Lock()
+	st, ok := m.nodes[nodeName]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("discovery: unknown node %q", nodeName)
+	}
+	_, infos, err := st.client.Describe()
+	if err != nil {
+		return err
+	}
+	have := map[string]bool{}
+	m.mu.Lock()
+	for _, ref := range st.refs {
+		have[ref] = true
+	}
+	m.mu.Unlock()
+	for _, info := range infos {
+		if have[info.Ref] {
+			continue
+		}
+		proxy := wire.NewRemote(st.client, info)
+		if err := m.central.Register(proxy); err != nil {
+			continue
+		}
+		m.mu.Lock()
+		st.refs = append(st.refs, info.Ref)
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// SweepExpired drops nodes whose lease has lapsed; it returns the names of
+// removed nodes. Call it periodically (the PEMS ticker does).
+func (m *Manager) SweepExpired(now time.Time) []string {
+	if m.lease <= 0 {
+		return nil
+	}
+	m.mu.Lock()
+	var expired []string
+	for name, st := range m.nodes {
+		if now.After(st.deadline) {
+			expired = append(expired, name)
+		}
+	}
+	m.mu.Unlock()
+	for _, name := range expired {
+		m.removeNode(name)
+	}
+	return expired
+}
+
+// Nodes returns the names of currently known nodes.
+func (m *Manager) Nodes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.nodes))
+	for name := range m.nodes {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+// Package lexer provides the shared tokenizer for the Serena DDL
+// (internal/ddl) and the Serena Algebra Language (internal/sal). Both
+// languages use SQL-flavoured lexical conventions: case-insensitive
+// keywords, single- or double-quoted string literals, `--` line comments
+// and `/* */` block comments.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Kind classifies tokens.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number
+	String
+	Punct // single/multi-char punctuation: ( ) [ ] , ; : := -> @ = != <> < <= > >= *
+)
+
+// Token is one lexeme with its source position (1-based line/column).
+type Token struct {
+	Kind Kind
+	Text string // raw text; for String, the decoded body
+	Line int
+	Col  int
+}
+
+// Is reports whether the token is the given punctuation.
+func (t Token) Is(p string) bool { return t.Kind == Punct && t.Text == p }
+
+// IsKeyword reports a case-insensitive identifier match.
+func (t Token) IsKeyword(kw string) bool {
+	return t.Kind == Ident && strings.EqualFold(t.Text, kw)
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case String:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Lexer tokenizes an input string.
+type Lexer struct {
+	src    string
+	pos    int
+	line   int
+	col    int
+	peeked *Token
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+// multi-char punctuation, longest first.
+var multiPunct = []string{":=", "->", "!=", "<>", "<=", ">=", "=="}
+
+// Peek returns the next token without consuming it.
+func (l *Lexer) Peek() (Token, error) {
+	if l.peeked == nil {
+		t, err := l.lex()
+		if err != nil {
+			return Token{}, err
+		}
+		l.peeked = &t
+	}
+	return *l.peeked, nil
+}
+
+// Next consumes and returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if l.peeked != nil {
+		t := *l.peeked
+		l.peeked = nil
+		return t, nil
+	}
+	return l.lex()
+}
+
+func (l *Lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.pos < len(l.src) && l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case strings.HasPrefix(l.src[l.pos:], "--"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return l.errorf("unterminated block comment")
+			}
+			l.advance(end + 4)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *Lexer) lex() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: l.line, Col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.src[l.pos]
+
+	// String literals.
+	if c == '\'' || c == '"' {
+		quote := c
+		var b strings.Builder
+		i := l.pos + 1
+		for i < len(l.src) {
+			if l.src[i] == '\\' && i+1 < len(l.src) {
+				switch l.src[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '\'', '"':
+					b.WriteByte(l.src[i+1])
+				default:
+					b.WriteByte(l.src[i+1])
+				}
+				i += 2
+				continue
+			}
+			if l.src[i] == quote {
+				text := b.String()
+				l.advance(i + 1 - l.pos)
+				return Token{Kind: String, Text: text, Line: line, Col: col}, nil
+			}
+			b.WriteByte(l.src[i])
+			i++
+		}
+		return Token{}, l.errorf("unterminated string literal")
+	}
+
+	// Hex blob literals: 0x… (consumed as a Number token; value.Parse turns
+	// them into BLOBs).
+	if c == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		i := l.pos + 2
+		for i < len(l.src) && isHexDigit(l.src[i]) {
+			i++
+		}
+		if i > l.pos+2 {
+			text := l.src[l.pos:i]
+			l.advance(i - l.pos)
+			return Token{Kind: Number, Text: text, Line: line, Col: col}, nil
+		}
+	}
+
+	// Numbers (integers, decimals, exponents; optional leading minus is
+	// handled by parsers as unary punctuation when ambiguous, so numbers
+	// here start with a digit or a '-' directly followed by a digit).
+	if isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])) {
+		i := l.pos + 1
+		for i < len(l.src) && (isDigit(l.src[i]) || l.src[i] == '.' ||
+			l.src[i] == 'e' || l.src[i] == 'E' ||
+			((l.src[i] == '+' || l.src[i] == '-') && (l.src[i-1] == 'e' || l.src[i-1] == 'E'))) {
+			i++
+		}
+		text := l.src[l.pos:i]
+		l.advance(i - l.pos)
+		return Token{Kind: Number, Text: text, Line: line, Col: col}, nil
+	}
+
+	// Identifiers and keywords (full UTF-8).
+	if r, _ := utf8.DecodeRuneInString(l.src[l.pos:]); isIdentStart(r) {
+		i := l.pos
+		for i < len(l.src) {
+			r, size := utf8.DecodeRuneInString(l.src[i:])
+			if i == l.pos {
+				if !isIdentStart(r) {
+					break
+				}
+			} else if !isIdentPart(r) {
+				break
+			}
+			i += size
+		}
+		text := l.src[l.pos:i]
+		l.advance(i - l.pos)
+		return Token{Kind: Ident, Text: text, Line: line, Col: col}, nil
+	}
+
+	// Multi-char punctuation.
+	for _, p := range multiPunct {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.advance(len(p))
+			return Token{Kind: Punct, Text: p, Line: line, Col: col}, nil
+		}
+	}
+
+	// Single-char punctuation.
+	switch c {
+	case '(', ')', '[', ']', ',', ';', ':', '@', '=', '<', '>', '*', '-', '.':
+		l.advance(1)
+		return Token{Kind: Punct, Text: string(c), Line: line, Col: col}, nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return Token{}, l.errorf("unexpected character %q", r)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

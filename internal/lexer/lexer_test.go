@@ -1,0 +1,134 @@
+package lexer
+
+import "testing"
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	l := New(src)
+	var out []Token
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.Kind == EOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := lexAll(t, `PROTOTYPE sendMessage( address STRING ) : ( sent BOOLEAN ) ACTIVE;`)
+	wantTexts := []string{"PROTOTYPE", "sendMessage", "(", "address", "STRING", ")", ":", "(", "sent", "BOOLEAN", ")", "ACTIVE", ";"}
+	if len(toks) != len(wantTexts) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(wantTexts), toks)
+	}
+	for i, w := range wantTexts {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	toks := lexAll(t, `"hello" 'wor\'ld' "a\"b" "tab\there"`)
+	want := []string{"hello", "wor'ld", `a"b`, "tab\there"}
+	for i, w := range want {
+		if toks[i].Kind != String || toks[i].Text != w {
+			t.Errorf("string %d = %q (%d), want %q", i, toks[i].Text, toks[i].Kind, w)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := lexAll(t, `42 -7 3.5 1e3 2.5E-2`)
+	want := []string{"42", "-7", "3.5", "1e3", "2.5E-2"}
+	for i, w := range want {
+		if toks[i].Kind != Number || toks[i].Text != w {
+			t.Errorf("number %d = %v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestMultiCharPunct(t *testing.T) {
+	toks := lexAll(t, `a := b -> c != d <> e <= f >= g == h`)
+	var puncts []string
+	for _, tok := range toks {
+		if tok.Kind == Punct {
+			puncts = append(puncts, tok.Text)
+		}
+	}
+	want := []string{":=", "->", "!=", "<>", "<=", ">=", "=="}
+	if len(puncts) != len(want) {
+		t.Fatalf("puncts = %v", puncts)
+	}
+	for i, w := range want {
+		if puncts[i] != w {
+			t.Errorf("punct %d = %q want %q", i, puncts[i], w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := lexAll(t, "a -- line comment\nb /* block\ncomment */ c")
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" || toks[2].Text != "c" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestUnterminatedConstructs(t *testing.T) {
+	l := New(`"unterminated`)
+	if _, err := l.Next(); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	l2 := New("/* never closed")
+	if _, err := l2.Next(); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func TestPeekAndPositions(t *testing.T) {
+	l := New("alpha\n  beta")
+	p1, _ := l.Peek()
+	n1, _ := l.Next()
+	if p1 != n1 {
+		t.Fatal("Peek != Next")
+	}
+	n2, _ := l.Next()
+	if n2.Line != 2 || n2.Col != 3 {
+		t.Fatalf("position = %d:%d, want 2:3", n2.Line, n2.Col)
+	}
+	if !n2.IsKeyword("BETA") {
+		t.Fatal("IsKeyword case-insensitivity broken")
+	}
+	eof, _ := l.Next()
+	if eof.Kind != EOF || eof.String() != "end of input" {
+		t.Fatalf("EOF token = %v", eof)
+	}
+}
+
+func TestMinusDisambiguation(t *testing.T) {
+	// '-' followed by digit is a negative number; standalone is punct.
+	toks := lexAll(t, `a - b -5`)
+	if toks[1].Kind != Punct || toks[1].Text != "-" {
+		t.Fatalf("standalone minus = %v", toks[1])
+	}
+	if toks[3].Kind != Number || toks[3].Text != "-5" {
+		t.Fatalf("negative literal = %v", toks[3])
+	}
+}
+
+func TestUnicodeIdentifiers(t *testing.T) {
+	toks := lexAll(t, "températures café_bar")
+	if len(toks) != 2 || toks[0].Text != "températures" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	l := New("§")
+	if _, err := l.Next(); err == nil {
+		t.Error("unexpected character accepted")
+	}
+}

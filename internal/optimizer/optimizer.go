@@ -1,0 +1,287 @@
+// Package optimizer implements logical optimization of Serena queries: a
+// cost model in which service invocations dominate (the paper's Section 7
+// names "cost models dedicated to pervasive environments" as the goal of
+// its optimization work) driving the equivalence-preserving rewrite rules
+// of internal/rewrite.
+//
+// The model is deliberately simple: plan cost is the estimated number of
+// tuples flowing through each operator (CPU) plus a large per-invocation
+// charge (network + device latency). Because every rewrite rule is
+// equivalence-preserving (Definition 9), optimization can never change a
+// query's result or action set — only its invocation count and tuple flow.
+package optimizer
+
+import (
+	"fmt"
+
+	"serena/internal/algebra"
+	"serena/internal/query"
+	"serena/internal/rewrite"
+	"serena/internal/schema"
+)
+
+// Stats supplies base-relation cardinalities.
+type Stats interface {
+	// Cardinality returns the (estimated) tuple count of a base relation.
+	Cardinality(name string) (int64, bool)
+}
+
+// EnvStats derives exact cardinalities from a concrete environment.
+type EnvStats struct{ Env query.Environment }
+
+// Cardinality implements Stats.
+func (s EnvStats) Cardinality(name string) (int64, bool) {
+	r, err := s.Env.Relation(name)
+	if err != nil {
+		return 0, false
+	}
+	return int64(r.Len()), true
+}
+
+// MapStats is a Stats over fixed numbers (for planning without data).
+type MapStats map[string]int64
+
+// Cardinality implements Stats.
+func (m MapStats) Cardinality(name string) (int64, bool) {
+	c, ok := m[name]
+	return c, ok
+}
+
+// CostModel weights the plan-cost terms.
+type CostModel struct {
+	// TupleCost is the CPU charge per tuple processed by an operator.
+	TupleCost float64
+	// PassiveInvokeCost charges one passive service invocation.
+	PassiveInvokeCost float64
+	// ActiveInvokeCost charges one active invocation (usually equal to the
+	// passive cost; actions cannot be moved anyway).
+	ActiveInvokeCost float64
+	// EqSelectivity, CmpSelectivity and DefaultSelectivity estimate σ.
+	EqSelectivity, CmpSelectivity, DefaultSelectivity float64
+	// JoinSelectivity estimates the match fraction per shared-real-key
+	// probe.
+	JoinSelectivity float64
+}
+
+// DefaultCostModel returns the standard weights: an invocation costs as
+// much as shuffling 1000 tuples, mirroring the paper's setting where
+// devices sit across a network.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TupleCost:          1,
+		PassiveInvokeCost:  1000,
+		ActiveInvokeCost:   1000,
+		EqSelectivity:      0.1,
+		CmpSelectivity:     0.33,
+		DefaultSelectivity: 0.5,
+		JoinSelectivity:    0.1,
+	}
+}
+
+// Estimate walks a plan and returns its estimated output cardinality and
+// total cost under the model.
+func Estimate(n query.Node, env query.Environment, stats Stats, cm CostModel) (card, cost float64, err error) {
+	switch t := n.(type) {
+	case *query.Base:
+		c, ok := stats.Cardinality(t.Name)
+		if !ok {
+			return 0, 0, fmt.Errorf("optimizer: no statistics for relation %q", t.Name)
+		}
+		return float64(c), float64(c) * cm.TupleCost, nil
+
+	case *query.Project:
+		c, k, err := Estimate(t.Child, env, stats, cm)
+		if err != nil {
+			return 0, 0, err
+		}
+		return c, k + c*cm.TupleCost, nil
+
+	case *query.Select:
+		c, k, err := Estimate(t.Child, env, stats, cm)
+		if err != nil {
+			return 0, 0, err
+		}
+		return c * selectivity(t.Formula, cm), k + c*cm.TupleCost, nil
+
+	case *query.Rename:
+		c, k, err := Estimate(t.Child, env, stats, cm)
+		if err != nil {
+			return 0, 0, err
+		}
+		return c, k + c*cm.TupleCost, nil
+
+	case *query.Assign:
+		c, k, err := Estimate(t.Child, env, stats, cm)
+		if err != nil {
+			return 0, 0, err
+		}
+		return c, k + c*cm.TupleCost, nil
+
+	case *query.Invoke:
+		c, k, err := Estimate(t.Child, env, stats, cm)
+		if err != nil {
+			return 0, 0, err
+		}
+		per := cm.PassiveInvokeCost
+		if bp, bpErr := invokeBP(t, env); bpErr == nil && bp.Active() {
+			per = cm.ActiveInvokeCost
+		}
+		// Fanout 1: each input tuple yields on average one output tuple.
+		return c, k + c*per, nil
+
+	case *query.Join:
+		cl, kl, err := Estimate(t.Left, env, stats, cm)
+		if err != nil {
+			return 0, 0, err
+		}
+		cr, kr, err := Estimate(t.Right, env, stats, cm)
+		if err != nil {
+			return 0, 0, err
+		}
+		out := cl * cr
+		if ls, err1 := t.Left.ResultSchema(env); err1 == nil {
+			if rs, err2 := t.Right.ResultSchema(env); err2 == nil {
+				if len(schema.SharedRealJoinAttrs(ls, rs)) > 0 {
+					out = cl * cr * cm.JoinSelectivity
+				}
+			}
+		}
+		return out, kl + kr + (cl+cr+out)*cm.TupleCost, nil
+
+	case *query.SetOp:
+		cl, kl, err := Estimate(t.Left, env, stats, cm)
+		if err != nil {
+			return 0, 0, err
+		}
+		cr, kr, err := Estimate(t.Right, env, stats, cm)
+		if err != nil {
+			return 0, 0, err
+		}
+		var out float64
+		switch t.Kind {
+		case query.UnionOp:
+			out = cl + cr
+		case query.IntersectOp:
+			out = min(cl, cr) * 0.5
+		case query.DiffOp:
+			out = cl * 0.5
+		}
+		return out, kl + kr + (cl+cr)*cm.TupleCost, nil
+
+	case *query.Aggregate:
+		c, k, err := Estimate(t.Child, env, stats, cm)
+		if err != nil {
+			return 0, 0, err
+		}
+		groups := c * 0.1
+		if len(t.GroupBy) == 0 {
+			groups = 1
+		}
+		return groups, k + c*cm.TupleCost, nil
+
+	case *query.Window:
+		// A window bounds an infinite stream; per instant its content is at
+		// most period × arrival-rate tuples. Without rate statistics we use
+		// the child estimate.
+		return Estimate(t.Child, env, stats, cm)
+
+	case *query.Stream:
+		return Estimate(t.Child, env, stats, cm)
+	}
+	return 0, 0, fmt.Errorf("optimizer: unknown node %T", n)
+}
+
+func invokeBP(inv *query.Invoke, env query.Environment) (schema.BindingPattern, error) {
+	cs, err := inv.Child.ResultSchema(env)
+	if err != nil {
+		return schema.BindingPattern{}, err
+	}
+	return cs.FindBP(inv.Proto, inv.ServiceAttr)
+}
+
+func selectivity(f algebra.Formula, cm CostModel) float64 {
+	switch t := f.(type) {
+	case *algebra.Cmp:
+		switch t.Op {
+		case algebra.Eq:
+			return cm.EqSelectivity
+		case algebra.Ne:
+			return 1 - cm.EqSelectivity
+		case algebra.Contains:
+			return cm.DefaultSelectivity
+		default:
+			return cm.CmpSelectivity
+		}
+	case *algebra.And:
+		s := 1.0
+		for _, term := range t.Terms {
+			s *= selectivity(term, cm)
+		}
+		return s
+	case *algebra.Or:
+		s := 0.0
+		for _, term := range t.Terms {
+			s += selectivity(term, cm)
+		}
+		if s > 1 {
+			s = 1
+		}
+		return s
+	case *algebra.Not:
+		return 1 - selectivity(t.Term, cm)
+	case algebra.True, *algebra.True:
+		return 1
+	}
+	return cm.DefaultSelectivity
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Plan is an optimized query with its explanation.
+type Plan struct {
+	Root       query.Node
+	Steps      []rewrite.Step
+	CostBefore float64
+	CostAfter  float64
+}
+
+// Optimizer couples the rewrite rule set, statistics and a cost model.
+type Optimizer struct {
+	Rules []rewrite.Rule
+	Stats Stats
+	Model CostModel
+}
+
+// New returns an optimizer using the given rules (normally
+// rewrite.DefaultRules()), statistics and cost model.
+func New(rules []rewrite.Rule, stats Stats, model CostModel) *Optimizer {
+	return &Optimizer{Rules: rules, Stats: stats, Model: model}
+}
+
+// Optimize rewrites the query to fixpoint (all rules are
+// equivalence-preserving, Definition 9) and keeps the cheaper plan under
+// the cost model — with degenerate statistics a push could look worse, in
+// which case the original plan is kept.
+func (o *Optimizer) Optimize(q query.Node, env query.Environment) (*Plan, error) {
+	_, before, err := Estimate(q, env, o.Stats, o.Model)
+	if err != nil {
+		return nil, err
+	}
+	cur, steps, err := rewrite.Apply(q, env, o.Rules)
+	if err != nil {
+		return nil, err
+	}
+	_, after, err := Estimate(cur, env, o.Stats, o.Model)
+	if err != nil {
+		return nil, err
+	}
+	if after > before {
+		return &Plan{Root: q, Steps: nil, CostBefore: before, CostAfter: before}, nil
+	}
+	return &Plan{Root: cur, Steps: steps, CostBefore: before, CostAfter: after}, nil
+}

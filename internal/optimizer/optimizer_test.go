@@ -1,0 +1,264 @@
+package optimizer_test
+
+import (
+	"testing"
+
+	"serena/internal/algebra"
+	"serena/internal/optimizer"
+	"serena/internal/paperenv"
+	"serena/internal/query"
+	"serena/internal/rewrite"
+	"serena/internal/value"
+)
+
+func env() query.MapEnv {
+	return query.MapEnv{
+		"contacts":     paperenv.Contacts(),
+		"cameras":      paperenv.Cameras(),
+		"sensors":      paperenv.Sensors(),
+		"surveillance": paperenv.Surveillance(),
+	}
+}
+
+func TestEnvStatsAndMapStats(t *testing.T) {
+	s := optimizer.EnvStats{Env: env()}
+	if c, ok := s.Cardinality("contacts"); !ok || c != 3 {
+		t.Fatalf("Cardinality(contacts) = %d,%v", c, ok)
+	}
+	if _, ok := s.Cardinality("ghost"); ok {
+		t.Fatal("unknown relation should have no stats")
+	}
+	m := optimizer.MapStats{"r": 100}
+	if c, ok := m.Cardinality("r"); !ok || c != 100 {
+		t.Fatal("MapStats broken")
+	}
+}
+
+func TestEstimateBasics(t *testing.T) {
+	e := env()
+	stats := optimizer.EnvStats{Env: e}
+	cm := optimizer.DefaultCostModel()
+
+	base := query.NewBase("cameras")
+	card, cost, err := optimizer.Estimate(base, e, stats, cm)
+	if err != nil || card != 3 || cost != 3 {
+		t.Fatalf("base estimate = %v/%v/%v", card, cost, err)
+	}
+
+	// Invocation dominates: cost jumps by card × 1000.
+	inv := query.NewInvoke(base, "checkPhoto", "")
+	_, costInv, err := optimizer.Estimate(inv, e, stats, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costInv < 3000 {
+		t.Fatalf("invoke cost %v should include 3×1000", costInv)
+	}
+
+	// Selection shrinks cardinality.
+	sel := query.NewSelect(base,
+		algebra.Compare(algebra.Attr("area"), algebra.Eq, algebra.Const(value.NewString("office"))))
+	cardSel, _, err := optimizer.Estimate(sel, e, stats, cm)
+	if err != nil || cardSel >= card {
+		t.Fatalf("selection should shrink cardinality: %v", cardSel)
+	}
+
+	if _, _, err := optimizer.Estimate(query.NewBase("ghost"), e, stats, cm); err == nil {
+		t.Fatal("missing stats accepted")
+	}
+}
+
+func TestEstimateJoinSelectivity(t *testing.T) {
+	e := env()
+	stats := optimizer.EnvStats{Env: e}
+	cm := optimizer.DefaultCostModel()
+	// Shared-real join (name): 3×3×0.1.
+	j := query.NewJoin(query.NewBase("contacts"), query.NewBase("surveillance"))
+	card, _, err := optimizer.Estimate(j, e, stats, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card != 3*3*cm.JoinSelectivity {
+		t.Fatalf("join card = %v", card)
+	}
+	// No shared real attribute → Cartesian estimate.
+	cx := query.NewJoin(query.NewBase("cameras"), query.NewBase("contacts"))
+	cardX, _, err := optimizer.Estimate(cx, e, stats, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cardX != 9 {
+		t.Fatalf("cartesian card = %v, want 9", cardX)
+	}
+}
+
+func TestEstimateSetOpsAndCombinators(t *testing.T) {
+	e := env()
+	stats := optimizer.EnvStats{Env: e}
+	cm := optimizer.DefaultCostModel()
+	c := query.NewBase("contacts")
+	u := query.NewUnion(c, c)
+	card, _, err := optimizer.Estimate(u, e, stats, cm)
+	if err != nil || card != 6 {
+		t.Fatalf("union card = %v err %v", card, err)
+	}
+	i := query.NewIntersect(c, c)
+	if card, _, _ := optimizer.Estimate(i, e, stats, cm); card != 1.5 {
+		t.Fatalf("intersect card = %v", card)
+	}
+	d := query.NewDiff(c, c)
+	if card, _, _ := optimizer.Estimate(d, e, stats, cm); card != 1.5 {
+		t.Fatalf("diff card = %v", card)
+	}
+	// Formula selectivity combinators.
+	and := query.NewSelect(c, algebra.NewAnd(
+		algebra.Compare(algebra.Attr("name"), algebra.Eq, algebra.Const(value.NewString("x"))),
+		algebra.Compare(algebra.Attr("address"), algebra.Ne, algebra.Const(value.NewString("y")))))
+	cardAnd, _, _ := optimizer.Estimate(and, e, stats, cm)
+	if cardAnd >= 3*cm.EqSelectivity+0.001 {
+		t.Fatalf("AND selectivity should multiply: %v", cardAnd)
+	}
+	not := query.NewSelect(c, algebra.NewNot(algebra.True{}))
+	if cardNot, _, _ := optimizer.Estimate(not, e, stats, cm); cardNot != 0 {
+		t.Fatalf("NOT(true) selectivity = %v", cardNot)
+	}
+}
+
+func TestOptimizeReducesCostAndPreservesSemantics(t *testing.T) {
+	e := env()
+	reg, _ := paperenv.MustRegistry()
+	opt := optimizer.New(rewrite.DefaultRules(), optimizer.EnvStats{Env: e}, optimizer.DefaultCostModel())
+
+	// Q2'-style: selection above a passive invoke.
+	q := query.NewSelect(
+		query.NewInvoke(query.NewBase("cameras"), "checkPhoto", ""),
+		algebra.Compare(algebra.Attr("area"), algebra.Eq, algebra.Const(value.NewString("office"))))
+	plan, err := opt.Optimize(q, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CostAfter >= plan.CostBefore {
+		t.Fatalf("optimization did not reduce cost: %v → %v", plan.CostBefore, plan.CostAfter)
+	}
+	if len(plan.Steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	v, err := query.CheckEquivalence(q, plan.Root, e, reg, 0)
+	if err != nil || !v.Equivalent {
+		t.Fatalf("optimized plan not equivalent: %v %v", v.Reason, err)
+	}
+}
+
+func TestOptimizeLeavesActiveQueriesAlone(t *testing.T) {
+	e := env()
+	opt := optimizer.New(rewrite.DefaultRules(), optimizer.EnvStats{Env: e}, optimizer.DefaultCostModel())
+	// Q1': selection above ACTIVE invoke must not be pushed.
+	q := query.NewSelect(
+		query.NewInvoke(
+			query.NewAssignConst(query.NewBase("contacts"), "text", value.NewString("Bonjour!")),
+			"sendMessage", ""),
+		algebra.Compare(algebra.Attr("name"), algebra.Ne, algebra.Const(value.NewString("Carla"))))
+	plan, err := opt.Optimize(q, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Steps {
+		if s.Rule == "push-select-below-invoke" {
+			t.Fatalf("active invoke reordered: %+v", plan.Steps)
+		}
+	}
+}
+
+func TestOptimizeNoOpQuery(t *testing.T) {
+	e := env()
+	opt := optimizer.New(rewrite.DefaultRules(), optimizer.EnvStats{Env: e}, optimizer.DefaultCostModel())
+	q := query.NewBase("contacts")
+	plan, err := opt.Optimize(q, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 0 || plan.CostBefore != plan.CostAfter {
+		t.Fatalf("no-op query changed: %+v", plan)
+	}
+}
+
+func TestEstimateAllNodeKinds(t *testing.T) {
+	e := env()
+	stats := optimizer.EnvStats{Env: e}
+	cm := optimizer.DefaultCostModel()
+	base := query.NewBase("contacts")
+
+	ren := query.NewRename(base, "name", "who")
+	if card, _, err := optimizer.Estimate(ren, e, stats, cm); err != nil || card != 3 {
+		t.Fatalf("rename estimate = %v %v", card, err)
+	}
+	asg := query.NewAssignConst(base, "text", value.NewString("x"))
+	if card, _, err := optimizer.Estimate(asg, e, stats, cm); err != nil || card != 3 {
+		t.Fatalf("assign estimate = %v %v", card, err)
+	}
+	prj := query.NewProject(base, "name")
+	if card, _, err := optimizer.Estimate(prj, e, stats, cm); err != nil || card != 3 {
+		t.Fatalf("project estimate = %v %v", card, err)
+	}
+	win := query.NewWindow(base, 5)
+	if card, _, err := optimizer.Estimate(win, e, stats, cm); err != nil || card != 3 {
+		t.Fatalf("window estimate = %v %v", card, err)
+	}
+	str := query.NewStream(base, query.StreamInsertion)
+	if card, _, err := optimizer.Estimate(str, e, stats, cm); err != nil || card != 3 {
+		t.Fatalf("stream estimate = %v %v", card, err)
+	}
+	agg := query.NewAggregate(base, []string{"name"},
+		[]algebra.AggSpec{{Func: algebra.Count, As: "n"}})
+	if card, _, err := optimizer.Estimate(agg, e, stats, cm); err != nil || card < 0.29 || card > 0.31 {
+		t.Fatalf("grouped aggregate estimate = %v %v", card, err)
+	}
+	global := query.NewAggregate(base, nil,
+		[]algebra.AggSpec{{Func: algebra.Count, As: "n"}})
+	if card, _, err := optimizer.Estimate(global, e, stats, cm); err != nil || card != 1 {
+		t.Fatalf("global aggregate estimate = %v %v", card, err)
+	}
+	// Active invoke charged with the active cost.
+	inv := query.NewInvoke(
+		query.NewAssignConst(base, "text", value.NewString("x")), "sendMessage", "")
+	if _, cost, err := optimizer.Estimate(inv, e, stats, cm); err != nil || cost < 3000 {
+		t.Fatalf("active invoke estimate = %v %v", cost, err)
+	}
+	// Selectivity of OR saturates at 1.
+	orSel := query.NewSelect(base, algebra.NewOr(
+		algebra.Compare(algebra.Attr("name"), algebra.Ne, algebra.Const(value.NewString("a"))),
+		algebra.Compare(algebra.Attr("name"), algebra.Ne, algebra.Const(value.NewString("b"))),
+		algebra.Compare(algebra.Attr("name"), algebra.Ne, algebra.Const(value.NewString("c")))))
+	if card, _, _ := optimizer.Estimate(orSel, e, stats, cm); card > 3 {
+		t.Fatalf("OR selectivity must cap at 1: %v", card)
+	}
+	// contains uses default selectivity.
+	cont := query.NewSelect(base,
+		algebra.Compare(algebra.Attr("name"), algebra.Contains, algebra.Const(value.NewString("a"))))
+	if card, _, _ := optimizer.Estimate(cont, e, stats, cm); card != 3*cm.DefaultSelectivity {
+		t.Fatalf("contains selectivity = %v", card)
+	}
+}
+
+func TestCostBasedInvokeJoinChoice(t *testing.T) {
+	// With PushInvokeBelowJoin added to the rule set, the optimizer keeps
+	// whichever side its estimates favour — and never breaks equivalence.
+	e := env()
+	reg, _ := paperenv.MustRegistry()
+	rules := append(rewrite.DefaultRules(), rewrite.PushInvokeBelowJoin{})
+	opt := optimizer.New(rules, optimizer.EnvStats{Env: e}, optimizer.DefaultCostModel())
+	q := query.NewInvoke(
+		query.NewJoin(query.NewBase("sensors"), query.NewBase("surveillance")),
+		"getTemperature", "")
+	plan, err := opt.Optimize(q, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CostAfter > plan.CostBefore {
+		t.Fatalf("optimizer must never pick a worse plan: %v → %v", plan.CostBefore, plan.CostAfter)
+	}
+	v, err := query.CheckEquivalence(q, plan.Root, e, reg, 0)
+	if err != nil || !v.Equivalent {
+		t.Fatalf("cost-based choice broke equivalence: %v %v", v.Reason, err)
+	}
+}

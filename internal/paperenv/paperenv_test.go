@@ -1,0 +1,71 @@
+package paperenv_test
+
+import (
+	"testing"
+
+	"serena/internal/paperenv"
+)
+
+func TestFixturesMatchPaper(t *testing.T) {
+	// Table 1: 9 services over 4 prototypes.
+	reg, dev := paperenv.MustRegistry()
+	if got := len(reg.Refs()); got != 9 {
+		t.Fatalf("services = %d, want 9", got)
+	}
+	if got := len(reg.Prototypes()); got != 4 {
+		t.Fatalf("prototypes = %d, want 4", got)
+	}
+	if got := reg.Implementing("getTemperature"); len(got) != 4 {
+		t.Fatalf("temperature sensors = %v", got)
+	}
+	if got := reg.Implementing("checkPhoto"); len(got) != 3 {
+		t.Fatalf("cameras = %v", got)
+	}
+	if got := reg.Implementing("sendMessage"); len(got) != 2 {
+		t.Fatalf("messengers = %v", got)
+	}
+	if len(dev.Sensors) != 4 || len(dev.Cameras) != 3 || len(dev.Messengers) != 2 {
+		t.Fatal("device handles incomplete")
+	}
+
+	// Example 4 data: three contacts, Carla via email.
+	contacts := paperenv.Contacts()
+	if contacts.Len() != 3 {
+		t.Fatalf("contacts = %d", contacts.Len())
+	}
+	// Section 1.2 data: four sensors across three locations.
+	sensors := paperenv.Sensors()
+	if sensors.Len() != 4 {
+		t.Fatalf("sensors = %d", sensors.Len())
+	}
+	// Schemas carry the paper's binding patterns.
+	if _, err := contacts.Schema().FindBP("sendMessage", "messenger"); err != nil {
+		t.Fatal(err)
+	}
+	cam := paperenv.Cameras()
+	if len(cam.Schema().BindingPatterns()) != 2 {
+		t.Fatal("cameras must carry two binding patterns")
+	}
+	// Active/passive tags per Table 1.
+	send, _ := contacts.Schema().FindBP("sendMessage", "")
+	if !send.Active() {
+		t.Fatal("sendMessage must be ACTIVE")
+	}
+	check, _ := cam.Schema().FindBP("checkPhoto", "")
+	if check.Active() {
+		t.Fatal("checkPhoto must be passive")
+	}
+	// Surveillance and temperatures schemas are plain.
+	if len(paperenv.Surveillance().Schema().BindingPatterns()) != 0 {
+		t.Fatal("surveillance should have no binding patterns")
+	}
+	if paperenv.TemperaturesSchema().RealArity() != 3 {
+		t.Fatal("temperatures stream must have 3 real attributes")
+	}
+	// All sensors read below the 28 °C scenario threshold at instant 0.
+	for ref, s := range dev.Sensors {
+		if temp := s.TemperatureAt(0); temp >= 28 {
+			t.Fatalf("%s base temperature %v too hot for the scenario", ref, temp)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package pems_test
+
+import (
+	"fmt"
+	"log"
+
+	"serena/internal/device"
+	"serena/internal/pems"
+)
+
+// Example shows the minimal PEMS loop: declare the environment in Serena
+// DDL, register a device, and run a one-shot Serena SQL query whose WHERE
+// restricts which services get invoked.
+func Example() {
+	p := pems.New()
+	defer p.Close()
+	if err := p.ExecuteDDL(`
+		PROTOTYPE getTemperature( ) : (temperature REAL );
+		EXTENDED RELATION sensors (
+		  sensor SERVICE, location STRING, temperature REAL VIRTUAL
+		) USING BINDING PATTERNS ( getTemperature[sensor] );
+		INSERT INTO sensors VALUES (sensor06, "office"), (sensor22, "roof");`); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Registry().Register(device.NewSensor("sensor06", "office", 21)); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Registry().Register(device.NewSensor("sensor22", "roof", 15)); err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.OneShotSQL(`SELECT location, temperature FROM sensors
+		USING getTemperature WHERE location = "office"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Relation.Tuples()[0])
+	fmt.Println("invocations:", res.Stats.Passive)
+	// Output:
+	// ("office", 21)
+	// invocations: 1
+}

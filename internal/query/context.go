@@ -1,0 +1,262 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"serena/internal/algebra"
+	"serena/internal/schema"
+	"serena/internal/service"
+	"serena/internal/value"
+)
+
+// Action is one element of a query's action set (Definition 8): the
+// invocation of an active binding pattern on a service with an input tuple.
+type Action struct {
+	BP    string // binding pattern identity "proto[serviceAttr]"
+	Ref   string // service reference
+	Input value.Tuple
+}
+
+// Key is the set identity of the action.
+func (a Action) Key() string { return a.BP + "|" + a.Ref + "|" + a.Input.Key() }
+
+// String renders "(bp, ref, input)" like Example 6.
+func (a Action) String() string {
+	return fmt.Sprintf("(%s, %s, %s)", a.BP, a.Ref, a.Input)
+}
+
+// ActionSet is the set of actions triggered by a query against an
+// environment: Actions_p(q) of Definition 8. It is safe for concurrent use
+// (the invocation operator may fire asynchronously, Section 5.1).
+type ActionSet struct {
+	mu    sync.Mutex
+	byKey map[string]Action
+}
+
+// NewActionSet returns an empty action set.
+func NewActionSet() *ActionSet { return &ActionSet{byKey: make(map[string]Action)} }
+
+// Add records an action (idempotent — it is a set).
+func (s *ActionSet) Add(a Action) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byKey[a.Key()] = a
+}
+
+// Len returns the cardinality.
+func (s *ActionSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byKey)
+}
+
+// Contains reports membership.
+func (s *ActionSet) Contains(a Action) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.byKey[a.Key()]
+	return ok
+}
+
+// Equal reports set equality — the action-set half of query equivalence
+// (Definition 9).
+func (s *ActionSet) Equal(o *ActionSet) bool {
+	sk := s.keySet()
+	ok := o.keySet()
+	if len(sk) != len(ok) {
+		return false
+	}
+	for k := range sk {
+		if !ok[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *ActionSet) keySet() map[string]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]bool, len(s.byKey))
+	for k := range s.byKey {
+		out[k] = true
+	}
+	return out
+}
+
+// Sorted returns the actions in deterministic order.
+func (s *ActionSet) Sorted() []Action {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	out := make([]Action, len(keys))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, k := range keys {
+		out[i] = s.byKey[k]
+	}
+	return out
+}
+
+// String renders "{(bp, ref, input), …}".
+func (s *ActionSet) String() string {
+	parts := make([]string, 0, s.Len())
+	for _, a := range s.Sorted() {
+		parts = append(parts, a.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// ContinuousHooks is implemented by the continuous executor (internal/cq)
+// to give Window and Stream nodes their time-aware semantics. One-shot
+// evaluation leaves it nil.
+type ContinuousHooks interface {
+	EvalWindow(w *Window, ctx *Context) (*algebra.XRelation, error)
+	EvalStream(s *Stream, ctx *Context) (*algebra.XRelation, error)
+}
+
+// Context carries everything one evaluation needs: the environment, the
+// service registry, the evaluation instant τ, the recorded action set, the
+// per-instant memo for passive invocations, and optional continuous hooks.
+type Context struct {
+	Env      Environment
+	Registry *service.Registry
+	At       service.Instant
+	Actions  *ActionSet
+
+	// Memo caches passive invocation results within this instant. Nil
+	// disables memoization (ablation: every tuple re-invokes).
+	Memo *service.Memo
+
+	// Continuous is set by the continuous executor; nil for one-shot
+	// queries.
+	Continuous ContinuousHooks
+
+	// OnInvokeError, when non-nil, decides what happens when a physical
+	// invocation fails (unreachable device, remote error): returning nil
+	// skips the failing tuple (it contributes no output, like an empty
+	// invocation result); returning an error aborts the query. Nil fails
+	// fast — the right default for one-shot queries, while the continuous
+	// executor installs a collector so one flaky device cannot kill a
+	// standing query.
+	//
+	// For ACTIVE binding patterns the action is recorded before the
+	// physical call, so a failed active invocation still appears in the
+	// action set: it was attempted, and its physical effect is unknown.
+	OnInvokeError func(bp schema.BindingPattern, ref string, input value.Tuple, err error) error
+
+	// Parallelism bounds how many service invocations one invocation
+	// operator may run concurrently (Section 5.1: invocations are handled
+	// asynchronously; Section 3.2 makes order irrelevant at an instant).
+	// Values < 2 mean sequential.
+	Parallelism int
+
+	// Stats counts invocations actually reaching services.
+	Stats InvokeStats
+
+	// statsMu guards Stats and OnInvokeError calls under parallel
+	// invocation.
+	statsMu sync.Mutex
+}
+
+// InvokeError records one skipped invocation failure.
+type InvokeError struct {
+	BP    string
+	Ref   string
+	Input value.Tuple
+	Err   error
+}
+
+// Error implements error.
+func (e InvokeError) Error() string {
+	return fmt.Sprintf("invoke %s on %s%s: %v", e.BP, e.Ref, e.Input, e.Err)
+}
+
+// InvokeStats counts the physical invocations performed through a context.
+type InvokeStats struct {
+	Passive  int64
+	Active   int64
+	Memoized int64
+}
+
+// NewContext builds a one-shot evaluation context at the given instant.
+func NewContext(env Environment, reg *service.Registry, at service.Instant) *Context {
+	return &Context{
+		Env:      env,
+		Registry: reg,
+		At:       at,
+		Actions:  NewActionSet(),
+		Memo:     service.NewMemo(at),
+	}
+}
+
+// Invoke implements algebra.Invoker: it records actions for active binding
+// patterns (Definition 8), memoizes passive invocations within the instant
+// (Section 3.2 determinism), and delegates the physical call to the
+// registry.
+func (c *Context) Invoke(bp schema.BindingPattern, ref string, input value.Tuple) ([]value.Tuple, error) {
+	return c.InvokeTracked(bp, ref, input, nil)
+}
+
+// InvokeTracked is Invoke with a skip indicator: when a physical failure is
+// absorbed by the error policy, *skipped (if non-nil) is set and empty rows
+// are returned — callers caching results across instants (the continuous
+// executor's delta cache) must not remember such results, so the tuple is
+// retried at the next instant.
+func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input value.Tuple, skipped *bool) ([]value.Tuple, error) {
+	if bp.Active() {
+		c.Actions.Add(Action{BP: bp.ID(), Ref: ref, Input: input.Clone()})
+		c.bump(&c.Stats.Active)
+		rows, err := c.Registry.Invoke(bp.Proto.Name, ref, input, c.At)
+		if err != nil {
+			return nil, c.invokeFailed(bp, ref, input, err, skipped)
+		}
+		return rows, nil
+	}
+	if c.Memo != nil {
+		if rows, ok := c.Memo.Get(bp.Proto.Name, ref, input); ok {
+			c.bump(&c.Stats.Memoized)
+			return rows, nil
+		}
+	}
+	rows, err := c.Registry.Invoke(bp.Proto.Name, ref, input, c.At)
+	if err != nil {
+		return nil, c.invokeFailed(bp, ref, input, err, skipped)
+	}
+	c.bump(&c.Stats.Passive)
+	if c.Memo != nil {
+		c.Memo.Put(bp.Proto.Name, ref, input, rows)
+	}
+	return rows, nil
+}
+
+// MaxParallel implements algebra.ParallelInvoker.
+func (c *Context) MaxParallel() int { return c.Parallelism }
+
+func (c *Context) bump(counter *int64) {
+	c.statsMu.Lock()
+	*counter++
+	c.statsMu.Unlock()
+}
+
+// invokeFailed applies the error policy: nil result means "skip the tuple"
+// (the caller sees an empty invocation result) and marks *skipped.
+func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value.Tuple, err error, skipped *bool) error {
+	if c.OnInvokeError == nil {
+		return err
+	}
+	c.statsMu.Lock()
+	policyErr := c.OnInvokeError(bp, ref, input, err)
+	c.statsMu.Unlock()
+	if policyErr == nil && skipped != nil {
+		*skipped = true
+	}
+	return policyErr
+}

@@ -1,0 +1,127 @@
+package query_test
+
+import (
+	"testing"
+
+	"serena/internal/algebra"
+	"serena/internal/query"
+	"serena/internal/value"
+)
+
+// TestNodeContracts exercises ResultSchema/Eval/Children/String uniformly
+// for every node type over the paper environment.
+func TestNodeContracts(t *testing.T) {
+	env, reg, _ := paperSetup()
+	nodes := []struct {
+		name       string
+		node       query.Node
+		children   int
+		salForm    string
+		schemaOnly bool // continuous nodes: schema derivable, eval rejected
+	}{
+		{"base", query.NewBase("contacts"), 0, "contacts", false},
+		{"project", query.NewProject(query.NewBase("contacts"), "name"), 1, "project[name](contacts)", false},
+		{"select", query.NewSelect(query.NewBase("contacts"), algebra.True{}), 1, "select[true](contacts)", false},
+		{"rename", query.NewRename(query.NewBase("contacts"), "name", "who"), 1, "rename[name -> who](contacts)", false},
+		{"join", query.NewJoin(query.NewBase("contacts"), query.NewBase("surveillance")), 2, "join(contacts, surveillance)", false},
+		{"union", query.NewUnion(query.NewBase("contacts"), query.NewBase("contacts")), 2, "union(contacts, contacts)", false},
+		{"intersect", query.NewIntersect(query.NewBase("contacts"), query.NewBase("contacts")), 2, "intersect(contacts, contacts)", false},
+		{"diff", query.NewDiff(query.NewBase("contacts"), query.NewBase("contacts")), 2, "diff(contacts, contacts)", false},
+		{"assign", query.NewAssignConst(query.NewBase("contacts"), "text", value.NewString("x")), 1, `assign[text := "x"](contacts)`, false},
+		{"invoke", query.NewInvoke(query.NewBase("sensors"), "getTemperature", ""), 1, "invoke[getTemperature](sensors)", false},
+		{"aggregate", query.NewAggregate(query.NewBase("surveillance"), []string{"location"},
+			[]algebra.AggSpec{{Func: algebra.Count, As: "n"}}), 1, "aggregate[count(*) as n by location](surveillance)", false},
+		{"window", query.NewWindow(query.NewBase("contacts"), 5), 1, "window[5](contacts)", true},
+		{"stream", query.NewStream(query.NewBase("contacts"), query.StreamDeletion), 1, "stream[deletion](contacts)", true},
+	}
+	for _, c := range nodes {
+		if got := len(c.node.Children()); got != c.children {
+			t.Errorf("%s: children = %d, want %d", c.name, got, c.children)
+		}
+		if got := c.node.String(); got != c.salForm {
+			t.Errorf("%s: String = %q, want %q", c.name, got, c.salForm)
+		}
+		if _, err := c.node.ResultSchema(env); err != nil {
+			t.Errorf("%s: ResultSchema: %v", c.name, err)
+		}
+		_, err := query.Evaluate(c.node, env, reg, 0)
+		if c.schemaOnly {
+			if err == nil {
+				t.Errorf("%s: one-shot eval should be rejected", c.name)
+			}
+		} else if err != nil {
+			t.Errorf("%s: Eval: %v", c.name, err)
+		}
+	}
+}
+
+func TestAggregateNodeEval(t *testing.T) {
+	env, reg, _ := paperSetup()
+	n := query.NewAggregate(query.NewBase("surveillance"), []string{"location"},
+		[]algebra.AggSpec{{Func: algebra.Count, As: "n"}})
+	res, err := query.Evaluate(n, env, reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 3 {
+		t.Fatalf("groups = %d", res.Relation.Len())
+	}
+	// Schema errors propagate from planning.
+	bad := query.NewAggregate(query.NewBase("surveillance"), []string{"ghost"},
+		[]algebra.AggSpec{{Func: algebra.Count, As: "n"}})
+	if _, err := bad.ResultSchema(env); err == nil {
+		t.Fatal("bad aggregation accepted")
+	}
+	if _, err := query.Evaluate(bad, env, reg, 0); err == nil {
+		t.Fatal("bad aggregation evaluated")
+	}
+}
+
+func TestStreamKindFromString(t *testing.T) {
+	for _, n := range []string{"insertion", "deletion", "heartbeat"} {
+		k, ok := query.StreamKindFromString(n)
+		if !ok || k.String() != n {
+			t.Errorf("StreamKindFromString(%q) broken", n)
+		}
+	}
+	if _, ok := query.StreamKindFromString("sideways"); ok {
+		t.Error("bogus stream kind accepted")
+	}
+}
+
+func TestErrorPropagationThroughNodes(t *testing.T) {
+	env, reg, _ := paperSetup()
+	bad := query.NewBase("ghost")
+	// Every combinator must surface child errors.
+	for _, n := range []query.Node{
+		query.NewProject(bad, "x"),
+		query.NewSelect(bad, algebra.True{}),
+		query.NewRename(bad, "a", "b"),
+		query.NewJoin(bad, query.NewBase("contacts")),
+		query.NewJoin(query.NewBase("contacts"), bad),
+		query.NewUnion(bad, bad),
+		query.NewAssignConst(bad, "x", value.NewInt(1)),
+		query.NewInvoke(bad, "p", ""),
+		query.NewAggregate(bad, nil, []algebra.AggSpec{{Func: algebra.Count, As: "n"}}),
+	} {
+		if _, err := n.ResultSchema(env); err == nil {
+			t.Errorf("%s: schema error not propagated", n)
+		}
+		if _, err := query.Evaluate(n, env, reg, 0); err == nil {
+			t.Errorf("%s: eval error not propagated", n)
+		}
+	}
+}
+
+func TestInvokeErrorRendering(t *testing.T) {
+	e := query.InvokeError{BP: "p[s]", Ref: "dev", Input: value.Tuple{value.NewInt(1)}, Err: errFixed}
+	if got := e.Error(); got != "invoke p[s] on dev(1): boom" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+var errFixed = errBoom{}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }

@@ -1,0 +1,106 @@
+package sal_test
+
+import (
+	"testing"
+
+	"serena/internal/algebra"
+	"serena/internal/paperenv"
+	"serena/internal/query"
+	"serena/internal/sal"
+)
+
+func TestAggregateParsing(t *testing.T) {
+	n, err := sal.Parse(`aggregate[mean(temperature) as avgtemp by location](temperatures)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := n.(*query.Aggregate)
+	if len(agg.Aggs) != 1 || agg.Aggs[0].Func != algebra.Mean || agg.Aggs[0].As != "avgtemp" {
+		t.Fatalf("aggs = %+v", agg.Aggs)
+	}
+	if len(agg.GroupBy) != 1 || agg.GroupBy[0] != "location" {
+		t.Fatalf("groupBy = %v", agg.GroupBy)
+	}
+	// Multi-agg, multi-group, count(*).
+	n2, err := sal.Parse(`aggregate[count(*) as n, min(temperature) as lo, max(temperature) as hi by location, sensor](temperatures)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg2 := n2.(*query.Aggregate)
+	if len(agg2.Aggs) != 3 || len(agg2.GroupBy) != 2 {
+		t.Fatalf("agg2 = %+v", agg2)
+	}
+	if agg2.Aggs[0].Attr != "" {
+		t.Fatalf("count(*) attr = %q", agg2.Aggs[0].Attr)
+	}
+	// Global aggregation (no by clause).
+	n3, err := sal.Parse(`aggregate[sum(temperature) as total](temperatures)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n3.(*query.Aggregate).GroupBy) != 0 {
+		t.Fatal("global aggregation should have no grouping")
+	}
+}
+
+func TestAggregateRoundTrip(t *testing.T) {
+	srcs := []string{
+		`aggregate[mean(temperature) as avgtemp by location](temperatures)`,
+		`aggregate[count(*) as n](temperatures)`,
+		`aggregate[count(*) as n, max(temperature) as hi by location](temperatures)`,
+	}
+	for _, src := range srcs {
+		n, err := sal.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if n.String() != src {
+			t.Fatalf("round trip:\nin:  %s\nout: %s", src, n.String())
+		}
+	}
+}
+
+func TestAggregateParseErrors(t *testing.T) {
+	bad := []string{
+		`aggregate[](r)`,
+		`aggregate[median(x) as m](r)`,
+		`aggregate[sum(*) as s](r)`, // '*' only for count
+		`aggregate[sum(x) m](r)`,    // missing 'as'
+		`aggregate[sum(x) as](r)`,
+		`aggregate[sum(x) as s by](r)`,
+		`aggregate[sum(x) as s by g,](r)`,
+	}
+	for _, src := range bad {
+		if _, err := sal.Parse(src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}
+
+func TestMeanTemperaturePerLocationEndToEnd(t *testing.T) {
+	// Section 1.2: "a one-shot query can … compute a mean temperature for a
+	// given location" — realized via β then the aggregation extension.
+	reg, _ := paperenv.MustRegistry()
+	env := query.MapEnv{"sensors": paperenv.Sensors()}
+	n, err := sal.Parse(`aggregate[mean(temperature) as avgtemp by location](invoke[getTemperature](sensors))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := query.Evaluate(n, env, reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 3 { // corridor, office, roof
+		t.Fatalf("groups = %d", res.Relation.Len())
+	}
+	sch := res.Relation.Schema()
+	li, ai := sch.RealIndex("location"), sch.RealIndex("avgtemp")
+	for _, tu := range res.Relation.Tuples() {
+		if tu[li].Str() == "office" {
+			// sensors 06 (21) and 07 (22) → mean 21.5 at instant 0.
+			if tu[ai].Real() != 21.5 {
+				t.Fatalf("office mean = %v, want 21.5", tu[ai])
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package sal_test
+
+import (
+	"testing"
+
+	"serena/internal/sal"
+)
+
+// FuzzParse asserts the SAL parser never panics and that every accepted
+// input round-trips through String → Parse.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`contacts`,
+		`project[name, address](contacts)`,
+		`select[name != "Carla"](contacts)`,
+		`select[a = 1 or b = 2 and not (c >= 3.5)](r)`,
+		`rename[location -> area](t)`,
+		`assign[text := "Bonjour!"](contacts)`,
+		`assign[text := address](contacts)`,
+		`invoke[sendMessage@messenger](contacts)`,
+		`window[3600](news)`,
+		`stream[insertion](q)`,
+		`aggregate[mean(temperature) as avg by location](t)`,
+		`join(union(a, b), diff(c, intersect(d, e)))`,
+		`select[title contains "Obama"](window[1](news))`,
+		`select[`,
+		`project[](r)`,
+		`π[x](r)`,
+		`invoke[p](q))`,
+		"select[a = \x00](r)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := sal.Parse(src)
+		if err != nil || n == nil {
+			return
+		}
+		printed := n.String()
+		n2, err := sal.Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, printed, err)
+		}
+		if n2.String() != printed {
+			t.Fatalf("unstable round trip: %q → %q → %q", src, printed, n2.String())
+		}
+	})
+}

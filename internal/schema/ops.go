@@ -1,0 +1,236 @@
+package schema
+
+import (
+	"fmt"
+
+	"serena/internal/value"
+)
+
+// This file implements the *schema* halves of the Serena operators —
+// the "Output" rows of Table 3 in the paper. The tuple halves live in
+// internal/algebra and consult these derived schemas via name-based
+// coordinate lookup (RealIndex).
+
+// ProjectSchema derives the schema of π_Y(r) (Table 3a): schema(S)=Y kept
+// in R's attribute order; real/virtual statuses preserved; binding patterns
+// kept only when their service attribute, input schema and output schema all
+// remain inside Y.
+func ProjectSchema(r *Extended, names []string) (*Extended, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		if !r.Has(n) {
+			return nil, fmt.Errorf("schema: projection attribute %q not in schema(%s)", n, r.Name())
+		}
+		if want[n] {
+			return nil, fmt.Errorf("schema: duplicate projection attribute %q", n)
+		}
+		want[n] = true
+	}
+	attrs := make([]ExtAttr, 0, len(names))
+	for _, a := range r.Attrs() {
+		if want[a.Name] {
+			attrs = append(attrs, a)
+		}
+	}
+	var bps []BindingPattern
+	for _, bp := range r.BindingPatterns() {
+		if want[bp.ServiceAttr] &&
+			bp.Proto.Input.SubsetOfNames(want) &&
+			bp.Proto.Output.SubsetOfNames(want) {
+			bps = append(bps, bp)
+		}
+	}
+	return NewExtended("", attrs, bps)
+}
+
+// RenameSchema derives the schema of ρ_{A→B}(r) (Table 3c): the attribute A
+// is renamed to B keeping its type and real/virtual status; a binding
+// pattern survives when, after renaming its service attribute if that was A,
+// its prototype's input and output attribute names are still all present.
+func RenameSchema(r *Extended, oldName, newName string) (*Extended, error) {
+	if !r.Has(oldName) {
+		return nil, fmt.Errorf("schema: rename source %q not in schema(%s)", oldName, r.Name())
+	}
+	if oldName == newName {
+		return nil, fmt.Errorf("schema: rename to the same name %q", oldName)
+	}
+	if r.Has(newName) {
+		return nil, fmt.Errorf("schema: rename target %q already in schema(%s)", newName, r.Name())
+	}
+	attrs := make([]ExtAttr, 0, r.Arity())
+	newNames := make(map[string]bool, r.Arity())
+	for _, a := range r.Attrs() {
+		if a.Name == oldName {
+			a.Name = newName
+		}
+		attrs = append(attrs, a)
+		newNames[a.Name] = true
+	}
+	var bps []BindingPattern
+	for _, bp := range r.BindingPatterns() {
+		if bp.ServiceAttr == oldName {
+			bp.ServiceAttr = newName
+		}
+		if newNames[bp.ServiceAttr] &&
+			bp.Proto.Input.SubsetOfNames(newNames) &&
+			bp.Proto.Output.SubsetOfNames(newNames) {
+			bps = append(bps, bp)
+		}
+	}
+	return NewExtended("", attrs, bps)
+}
+
+// JoinSchema derives the schema of r1 ⋈ r2 (Table 3d). Attributes are
+// ordered as R1's followed by R2-only ones. A shared attribute is real in
+// the result when real in either operand (real⋈virtual is the paper's
+// implicit realization); virtual only when virtual in both. Shared
+// attributes must agree on their declared type (URSA). Binding patterns are
+// the union of both operands' patterns that still write only to virtual
+// attributes of the result.
+func JoinSchema(r1, r2 *Extended) (*Extended, error) {
+	// Determine result real/virtual status per attribute name.
+	realIn := func(r *Extended, n string) bool { return r.IsReal(n) }
+	attrs := make([]ExtAttr, 0, r1.Arity()+r2.Arity())
+	for _, a := range r1.Attrs() {
+		if t2, shared := r2.TypeOf(a.Name); shared {
+			if t2 != a.Type {
+				return nil, fmt.Errorf("schema: join attribute %q has type %s in %s but %s in %s",
+					a.Name, a.Type, r1.Name(), t2, r2.Name())
+			}
+			a.Virtual = !(realIn(r1, a.Name) || realIn(r2, a.Name))
+		}
+		attrs = append(attrs, a)
+	}
+	for _, a := range r2.Attrs() {
+		if !r1.Has(a.Name) {
+			attrs = append(attrs, a)
+		}
+	}
+	virtual := make(map[string]bool)
+	for _, a := range attrs {
+		if a.Virtual {
+			virtual[a.Name] = true
+		}
+	}
+	var bps []BindingPattern
+	seen := make(map[string]bool)
+	for _, src := range [][]BindingPattern{r1.BindingPatterns(), r2.BindingPatterns()} {
+		for _, bp := range src {
+			if seen[bp.ID()] {
+				continue
+			}
+			if bp.Proto.Output.SubsetOfNames(virtual) {
+				seen[bp.ID()] = true
+				bps = append(bps, bp)
+			}
+		}
+	}
+	return NewExtended("", attrs, bps)
+}
+
+// SharedRealJoinAttrs returns the attribute names that are real in BOTH
+// operands — the only join attributes that imply a join predicate at the
+// tuple level (Table 3d: virtual-in-one join attributes do not constrain
+// tuples, degrading to a Cartesian product when no shared-real attribute
+// exists).
+func SharedRealJoinAttrs(r1, r2 *Extended) []string {
+	var out []string
+	for _, n := range r1.RealNames() {
+		if r2.IsReal(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// AssignSchema derives the schema of α_{A:=…}(r) (Table 3e): the virtual
+// attribute A becomes real; binding patterns survive only when their output
+// schema stays within virtualSchema(R) − {A}. src is the source real
+// attribute for α_{A:=B} (its type must match A's) or empty for a constant
+// assignment α_{A:=a}, whose constant type is checked by the algebra.
+func AssignSchema(r *Extended, attr, src string) (*Extended, error) {
+	if !r.Has(attr) {
+		return nil, fmt.Errorf("schema: assignment target %q not in schema(%s)", attr, r.Name())
+	}
+	if !r.IsVirtual(attr) {
+		return nil, fmt.Errorf("schema: assignment target %q must be a virtual attribute", attr)
+	}
+	if src != "" {
+		if !r.IsReal(src) {
+			return nil, fmt.Errorf("schema: assignment source %q must be a real attribute of schema(%s)", src, r.Name())
+		}
+		ta, _ := r.TypeOf(attr)
+		ts, _ := r.TypeOf(src)
+		if ta != ts && !(ts == value.Int && ta == value.Real) &&
+			!(ts == value.String && ta == value.Service) && !(ts == value.Service && ta == value.String) {
+			return nil, fmt.Errorf("schema: assignment %s := %s: incompatible types %s := %s", attr, src, ta, ts)
+		}
+	}
+	attrs := make([]ExtAttr, 0, r.Arity())
+	for _, a := range r.Attrs() {
+		if a.Name == attr {
+			a.Virtual = false
+		}
+		attrs = append(attrs, a)
+	}
+	remainingVirtual := make(map[string]bool)
+	for _, a := range attrs {
+		if a.Virtual {
+			remainingVirtual[a.Name] = true
+		}
+	}
+	var bps []BindingPattern
+	for _, bp := range r.BindingPatterns() {
+		if bp.Proto.Output.SubsetOfNames(remainingVirtual) {
+			bps = append(bps, bp)
+		}
+	}
+	return NewExtended("", attrs, bps)
+}
+
+// InvokeSchema derives the schema of β_bp(r) (Table 3f): the output
+// attributes of bp's prototype become real; binding patterns survive only
+// when their outputs stay within virtualSchema(R) − schema(Output_bp) —
+// in particular bp itself is always consumed. It errors unless bp ∈ BP(R)
+// and all of bp's input attributes are real (the operator's precondition).
+func InvokeSchema(r *Extended, bp BindingPattern) (*Extended, error) {
+	found := false
+	for _, have := range r.BindingPatterns() {
+		if have.ID() == bp.ID() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("schema: binding pattern %s not in BP(%s)", bp.ID(), r.Name())
+	}
+	for _, in := range bp.Proto.Input.Attrs() {
+		if !r.IsReal(in.Name) {
+			return nil, fmt.Errorf("schema: invocation of %s requires input attribute %q to be real", bp.ID(), in.Name)
+		}
+	}
+	realized := make(map[string]bool, bp.Proto.Output.Arity())
+	for _, out := range bp.Proto.Output.Attrs() {
+		realized[out.Name] = true
+	}
+	attrs := make([]ExtAttr, 0, r.Arity())
+	for _, a := range r.Attrs() {
+		if realized[a.Name] {
+			a.Virtual = false
+		}
+		attrs = append(attrs, a)
+	}
+	remainingVirtual := make(map[string]bool)
+	for _, a := range attrs {
+		if a.Virtual {
+			remainingVirtual[a.Name] = true
+		}
+	}
+	var bps []BindingPattern
+	for _, other := range r.BindingPatterns() {
+		if other.Proto.Output.SubsetOfNames(remainingVirtual) {
+			bps = append(bps, other)
+		}
+	}
+	return NewExtended("", attrs, bps)
+}

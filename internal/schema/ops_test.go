@@ -1,0 +1,295 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"serena/internal/value"
+)
+
+func bpIDs(e *Extended) string {
+	ids := make([]string, 0, len(e.BindingPatterns()))
+	for _, bp := range e.BindingPatterns() {
+		ids = append(ids, bp.ID())
+	}
+	return strings.Join(ids, ",")
+}
+
+func TestProjectSchemaKeepsValidBPs(t *testing.T) {
+	cam := camerasSchema()
+	// Keep everything checkPhoto needs; drop photo → takePhoto invalid.
+	s, err := ProjectSchema(cam, []string{"camera", "area", "quality", "delay"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bpIDs(s); got != "checkPhoto[camera]" {
+		t.Errorf("BPs = %q, want checkPhoto[camera]", got)
+	}
+	if s.Arity() != 4 || s.RealArity() != 2 {
+		t.Errorf("arity = %d/%d", s.Arity(), s.RealArity())
+	}
+}
+
+func TestProjectSchemaDropsBPWhenServiceAttrGone(t *testing.T) {
+	cam := camerasSchema()
+	s, err := ProjectSchema(cam, []string{"area", "quality", "delay", "photo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.BindingPatterns()) != 0 {
+		t.Errorf("BPs should be gone without service attr, got %q", bpIDs(s))
+	}
+}
+
+func TestProjectSchemaDropsBPWhenInputGone(t *testing.T) {
+	cam := camerasSchema()
+	s, err := ProjectSchema(cam, []string{"camera", "quality", "delay", "photo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.BindingPatterns()) != 0 {
+		t.Errorf("BPs need their input attrs, got %q", bpIDs(s))
+	}
+}
+
+func TestProjectSchemaPreservesOrder(t *testing.T) {
+	c := contactSchema()
+	s, err := ProjectSchema(c, []string{"sent", "name"}) // order in Y irrelevant
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(s.Names(), ","); got != "name,sent" {
+		t.Errorf("attribute order = %q, want schema order name,sent", got)
+	}
+}
+
+func TestProjectSchemaErrors(t *testing.T) {
+	c := contactSchema()
+	if _, err := ProjectSchema(c, []string{"ghost"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := ProjectSchema(c, []string{"name", "name"}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+}
+
+func TestRenameSchemaServiceAttr(t *testing.T) {
+	c := contactSchema()
+	s, err := RenameSchema(c, "messenger", "mess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bpIDs(s); got != "sendMessage[mess]" {
+		t.Errorf("BPs = %q, want sendMessage[mess]", got)
+	}
+	if !s.IsReal("mess") || s.Has("messenger") {
+		t.Error("rename did not relabel attribute")
+	}
+}
+
+func TestRenameSchemaInvalidatesBPUsingPrototypeAttr(t *testing.T) {
+	c := contactSchema()
+	// Renaming 'address' (an input of sendMessage) invalidates the BP: the
+	// prototype still expects an attribute literally named "address".
+	s, err := RenameSchema(c, "address", "addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.BindingPatterns()) != 0 {
+		t.Errorf("BP should be invalidated, got %q", bpIDs(s))
+	}
+	// Same for an output attribute.
+	s2, err := RenameSchema(c, "sent", "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.BindingPatterns()) != 0 {
+		t.Errorf("BP should be invalidated by output rename, got %q", bpIDs(s2))
+	}
+}
+
+func TestRenameSchemaErrors(t *testing.T) {
+	c := contactSchema()
+	if _, err := RenameSchema(c, "ghost", "x"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := RenameSchema(c, "name", "address"); err == nil {
+		t.Error("existing target accepted")
+	}
+	if _, err := RenameSchema(c, "name", "name"); err == nil {
+		t.Error("no-op rename accepted")
+	}
+}
+
+func TestJoinSchemaStatuses(t *testing.T) {
+	// r1: a real, v virtual; r2: v real, b real → v becomes real (implicit
+	// realization), schema order r1 then r2-only.
+	r1 := MustExtended("r1", []ExtAttr{
+		{Attribute{"a", value.Int}, false},
+		{Attribute{"v", value.Real}, true},
+	}, nil)
+	r2 := MustExtended("r2", []ExtAttr{
+		{Attribute{"v", value.Real}, false},
+		{Attribute{"b", value.String}, false},
+	}, nil)
+	s, err := JoinSchema(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(s.Names(), ","); got != "a,v,b" {
+		t.Errorf("names = %q", got)
+	}
+	if !s.IsReal("v") {
+		t.Error("real⋈virtual attribute must become real")
+	}
+	// virtual in both stays virtual
+	r3 := MustExtended("r3", []ExtAttr{
+		{Attribute{"a", value.Int}, false},
+		{Attribute{"v", value.Real}, true},
+	}, nil)
+	s2, err := JoinSchema(r1, r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.IsVirtual("v") {
+		t.Error("virtual⋈virtual attribute must stay virtual")
+	}
+}
+
+func TestJoinSchemaTypeConflict(t *testing.T) {
+	r1 := MustExtended("r1", []ExtAttr{{Attribute{"a", value.Int}, false}}, nil)
+	r2 := MustExtended("r2", []ExtAttr{{Attribute{"a", value.String}, false}}, nil)
+	if _, err := JoinSchema(r1, r2); err == nil {
+		t.Error("URSA type conflict accepted")
+	}
+}
+
+func TestJoinSchemaBPElimination(t *testing.T) {
+	// contacts ⋈ relation providing real 'sent' → sendMessage BP eliminated
+	// because its output attribute became real.
+	c := contactSchema()
+	other := MustExtended("done", []ExtAttr{
+		{Attribute{"name", value.String}, false},
+		{Attribute{"sent", value.Bool}, false},
+	}, nil)
+	s, err := JoinSchema(c, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.BindingPatterns()) != 0 {
+		t.Errorf("BP must be eliminated when output became real, got %q", bpIDs(s))
+	}
+}
+
+func TestJoinSchemaBPUnionDedup(t *testing.T) {
+	c1, c2 := contactSchema(), contactSchema()
+	s, err := JoinSchema(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bpIDs(s); got != "sendMessage[messenger]" {
+		t.Errorf("BP union should dedup, got %q", got)
+	}
+}
+
+func TestSharedRealJoinAttrs(t *testing.T) {
+	c := contactSchema()
+	surveillance := MustExtended("surveillance", []ExtAttr{
+		{Attribute{"name", value.String}, false},
+		{Attribute{"location", value.String}, false},
+	}, nil)
+	got := SharedRealJoinAttrs(c, surveillance)
+	if len(got) != 1 || got[0] != "name" {
+		t.Errorf("SharedRealJoinAttrs = %v", got)
+	}
+	// virtual-on-one-side attrs don't imply a predicate
+	other := MustExtended("o", []ExtAttr{{Attribute{"text", value.String}, false}}, nil)
+	if got := SharedRealJoinAttrs(c, other); len(got) != 0 {
+		t.Errorf("virtual-in-one attr must not be a join predicate, got %v", got)
+	}
+}
+
+func TestAssignSchema(t *testing.T) {
+	c := contactSchema()
+	s, err := AssignSchema(c, "text", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsReal("text") {
+		t.Error("assigned attribute must become real")
+	}
+	// sendMessage's outputs ({sent}) are still virtual → BP survives.
+	if got := bpIDs(s); got != "sendMessage[messenger]" {
+		t.Errorf("BPs = %q", got)
+	}
+	// Assigning 'sent' kills the BP (output no longer virtual).
+	s2, err := AssignSchema(c, "sent", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.BindingPatterns()) != 0 {
+		t.Errorf("BP must die when output assigned, got %q", bpIDs(s2))
+	}
+}
+
+func TestAssignSchemaFromAttr(t *testing.T) {
+	c := contactSchema()
+	s, err := AssignSchema(c, "text", "address") // both STRING
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsReal("text") {
+		t.Error("text should be real")
+	}
+	if _, err := AssignSchema(c, "text", "sent"); err == nil {
+		t.Error("virtual source accepted")
+	}
+	if _, err := AssignSchema(c, "sent", "address"); err == nil {
+		t.Error("type-incompatible assignment accepted")
+	}
+	if _, err := AssignSchema(c, "name", ""); err == nil {
+		t.Error("assigning a real attribute accepted")
+	}
+	if _, err := AssignSchema(c, "ghost", ""); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestInvokeSchema(t *testing.T) {
+	cam := camerasSchema()
+	check, _ := cam.FindBP("checkPhoto", "")
+	s, err := InvokeSchema(cam, check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsReal("quality") || !s.IsReal("delay") || !s.IsVirtual("photo") {
+		t.Error("invocation must realize exactly the BP outputs")
+	}
+	// checkPhoto consumed; takePhoto survives (photo still virtual, and its
+	// input quality is now real — which is what enables invoking it next).
+	if got := bpIDs(s); got != "takePhoto[camera]" {
+		t.Errorf("BPs = %q, want takePhoto[camera]", got)
+	}
+	take, _ := s.FindBP("takePhoto", "")
+	s2, err := InvokeSchema(s, take)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.IsReal("photo") || len(s2.BindingPatterns()) != 0 {
+		t.Error("takePhoto invocation should realize photo and consume the BP")
+	}
+}
+
+func TestInvokeSchemaPreconditions(t *testing.T) {
+	cam := camerasSchema()
+	take, _ := cam.FindBP("takePhoto", "")
+	// quality (input of takePhoto) is virtual → precondition fails.
+	if _, err := InvokeSchema(cam, take); err == nil {
+		t.Error("invocation with virtual input accepted")
+	}
+	// BP not in BP(R).
+	foreign := BindingPattern{Proto: protoSendMessage(), ServiceAttr: "camera"}
+	if _, err := InvokeSchema(cam, foreign); err == nil {
+		t.Error("foreign binding pattern accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package service
+
+import (
+	"sync"
+
+	"serena/internal/value"
+)
+
+// Memo caches passive invocation results within a single time instant. The
+// paper assumes services are deterministic at a given instant (Section 3.2),
+// which makes invoke_ψ(s, t) a pure function of (ψ, s, t, τ); the memo
+// exploits that to avoid re-invoking a passive prototype with identical
+// arguments during one query evaluation or one continuous-query tick.
+//
+// Active prototypes must NEVER be memoized: each occurrence in a query is a
+// distinct action with a physical side effect.
+type Memo struct {
+	mu sync.Mutex
+	at Instant
+	m  map[memoKey][]value.Tuple
+	// Hits and Misses are simple counters for the ablation benchmarks.
+	hits, misses int64
+}
+
+type memoKey struct {
+	proto string
+	ref   string
+	input string // tuple identity key
+}
+
+// NewMemo returns a memo bound to the given instant.
+func NewMemo(at Instant) *Memo {
+	return &Memo{at: at, m: make(map[memoKey][]value.Tuple)}
+}
+
+// Instant returns the instant this memo is valid for.
+func (m *Memo) Instant() Instant { return m.at }
+
+// Get returns a cached result for (proto, ref, input).
+func (m *Memo) Get(proto, ref string, input value.Tuple) ([]value.Tuple, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rows, ok := m.m[memoKey{proto, ref, input.Key()}]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return rows, ok
+}
+
+// Put stores an invocation result.
+func (m *Memo) Put(proto, ref string, input value.Tuple, rows []value.Tuple) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.m[memoKey{proto, ref, input.Key()}] = rows
+}
+
+// Stats returns (hits, misses) since creation.
+func (m *Memo) Stats() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}

@@ -1,0 +1,334 @@
+// Package service implements the service side of the Serena model (Gripay
+// et al., EDBT 2010, Sections 2.1 and 2.3.1): services identified by service
+// references, the prototypes they implement, and the invocation function
+// invoke_ψ(s, t) → relation over Output_ψ (Definition 1).
+//
+// The registry is the in-process core of the paper's Environment Resource
+// Manager: services register and withdraw dynamically and observers receive
+// discovery events, which the PEMS layer turns into live service-discovery
+// X-Relations.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"serena/internal/schema"
+	"serena/internal/value"
+)
+
+// Instant is a discrete time instant τ ∈ T (Section 3.2: query evaluation
+// happens at a given instant; services are deterministic at a given
+// instant).
+type Instant int64
+
+// Sentinel errors returned by registry operations.
+var (
+	ErrUnknownService   = errors.New("service: unknown service reference")
+	ErrUnknownPrototype = errors.New("service: unknown prototype")
+	ErrNotImplemented   = errors.New("service: prototype not implemented by service")
+	ErrDuplicate        = errors.New("service: duplicate registration")
+)
+
+// Service is an implementation of one or more prototypes, addressable by
+// its service reference id(ω) (Section 2.3.1). Invoke must terminate (the
+// paper's tractability assumption) and must be deterministic for a fixed
+// (proto, input, at) triple within one instant.
+type Service interface {
+	// Ref returns the service reference id(ω) ∈ D.
+	Ref() string
+	// PrototypeNames returns the names of prototypes(ω), sorted.
+	PrototypeNames() []string
+	// Implements reports whether the named prototype is in prototypes(ω).
+	Implements(proto string) bool
+	// Invoke runs the named prototype with the given input tuple (over
+	// Input_ψ) at the given instant and returns a relation over Output_ψ.
+	Invoke(proto string, input value.Tuple, at Instant) ([]value.Tuple, error)
+}
+
+// InvokeFunc is the body of one prototype implementation.
+type InvokeFunc func(input value.Tuple, at Instant) ([]value.Tuple, error)
+
+// Func is a Service assembled from per-prototype functions. It is the
+// standard way to wrap simulated devices and network stubs.
+type Func struct {
+	ref   string
+	impls map[string]InvokeFunc
+}
+
+// NewFunc builds a function-backed service.
+func NewFunc(ref string, impls map[string]InvokeFunc) *Func {
+	cp := make(map[string]InvokeFunc, len(impls))
+	for k, v := range impls {
+		cp[k] = v
+	}
+	return &Func{ref: ref, impls: cp}
+}
+
+// Ref implements Service.
+func (f *Func) Ref() string { return f.ref }
+
+// PrototypeNames implements Service.
+func (f *Func) PrototypeNames() []string {
+	out := make([]string, 0, len(f.impls))
+	for name := range f.impls {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Implements implements Service.
+func (f *Func) Implements(proto string) bool { _, ok := f.impls[proto]; return ok }
+
+// Invoke implements Service.
+func (f *Func) Invoke(proto string, input value.Tuple, at Instant) ([]value.Tuple, error) {
+	fn, ok := f.impls[proto]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNotImplemented, proto, f.ref)
+	}
+	return fn(input, at)
+}
+
+// EventKind tags discovery events.
+type EventKind uint8
+
+// Discovery event kinds.
+const (
+	Added EventKind = iota
+	Removed
+)
+
+// Event describes a service arriving in or leaving the environment.
+type Event struct {
+	Kind       EventKind
+	Ref        string
+	Prototypes []string
+}
+
+// Registry tracks the prototypes and services of a relational pervasive
+// environment. It is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	protos   map[string]*schema.Prototype
+	services map[string]Service
+	watchers map[int]chan Event
+	nextW    int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		protos:   make(map[string]*schema.Prototype),
+		services: make(map[string]Service),
+		watchers: make(map[int]chan Event),
+	}
+}
+
+// RegisterPrototype declares a prototype. Re-registering an identical
+// declaration is a no-op; a conflicting one errors.
+func (r *Registry) RegisterPrototype(p *schema.Prototype) error {
+	if p == nil {
+		return fmt.Errorf("service: nil prototype")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.protos[p.Name]; ok {
+		if old.Active == p.Active && old.Input.Equal(p.Input) && old.Output.Equal(p.Output) {
+			return nil
+		}
+		return fmt.Errorf("%w: prototype %s redeclared differently", ErrDuplicate, p.Name)
+	}
+	r.protos[p.Name] = p
+	return nil
+}
+
+// Prototype looks a prototype up by name.
+func (r *Registry) Prototype(name string) (*schema.Prototype, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.protos[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPrototype, name)
+	}
+	return p, nil
+}
+
+// Prototypes returns all declared prototypes sorted by name.
+func (r *Registry) Prototypes() []*schema.Prototype {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*schema.Prototype, 0, len(r.protos))
+	for _, p := range r.protos {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Register adds a service to the environment and notifies watchers. Every
+// prototype the service claims must have been declared.
+func (r *Registry) Register(s Service) error {
+	if s == nil || s.Ref() == "" {
+		return fmt.Errorf("service: service needs a non-empty reference")
+	}
+	r.mu.Lock()
+	if _, dup := r.services[s.Ref()]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: service %s", ErrDuplicate, s.Ref())
+	}
+	for _, pn := range s.PrototypeNames() {
+		if _, ok := r.protos[pn]; !ok {
+			r.mu.Unlock()
+			return fmt.Errorf("%w: %s (claimed by service %s)", ErrUnknownPrototype, pn, s.Ref())
+		}
+	}
+	r.services[s.Ref()] = s
+	ev := Event{Kind: Added, Ref: s.Ref(), Prototypes: s.PrototypeNames()}
+	watchers := r.snapshotWatchers()
+	r.mu.Unlock()
+	broadcast(watchers, ev)
+	return nil
+}
+
+// Unregister removes a service (e.g. a failing sensor) and notifies
+// watchers. Unknown references error.
+func (r *Registry) Unregister(ref string) error {
+	r.mu.Lock()
+	s, ok := r.services[ref]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownService, ref)
+	}
+	delete(r.services, ref)
+	ev := Event{Kind: Removed, Ref: ref, Prototypes: s.PrototypeNames()}
+	watchers := r.snapshotWatchers()
+	r.mu.Unlock()
+	broadcast(watchers, ev)
+	return nil
+}
+
+// Lookup resolves a service reference.
+func (r *Registry) Lookup(ref string) (Service, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.services[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownService, ref)
+	}
+	return s, nil
+}
+
+// Refs returns all registered service references, sorted.
+func (r *Registry) Refs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.services))
+	for ref := range r.services {
+		out = append(out, ref)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Implementing returns the sorted references of services implementing the
+// named prototype — the source of the paper's service-discovery relations.
+func (r *Registry) Implementing(proto string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for ref, s := range r.services {
+		if s.Implements(proto) {
+			out = append(out, ref)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invoke implements invoke_ψ (Definition 1): it resolves the reference,
+// checks the prototype declaration, conforms the input tuple to Input_ψ,
+// runs the service and conforms every output tuple to Output_ψ.
+func (r *Registry) Invoke(proto, ref string, input value.Tuple, at Instant) ([]value.Tuple, error) {
+	r.mu.RLock()
+	p, okP := r.protos[proto]
+	s, okS := r.services[ref]
+	r.mu.RUnlock()
+	if !okP {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPrototype, proto)
+	}
+	if !okS {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownService, ref)
+	}
+	if !s.Implements(proto) {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNotImplemented, proto, ref)
+	}
+	in, err := p.Input.Conforms(input)
+	if err != nil {
+		return nil, fmt.Errorf("service: invoke %s on %s: input: %w", proto, ref, err)
+	}
+	rows, err := s.Invoke(proto, in, at)
+	if err != nil {
+		return nil, fmt.Errorf("service: invoke %s on %s: %w", proto, ref, err)
+	}
+	out := make([]value.Tuple, len(rows))
+	for i, row := range rows {
+		c, err := p.Output.Conforms(row)
+		if err != nil {
+			return nil, fmt.Errorf("service: invoke %s on %s: output tuple %d: %w", proto, ref, i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Watch subscribes to discovery events. The returned cancel function
+// unsubscribes and closes the channel. Events are delivered asynchronously
+// on a buffered channel; slow consumers drop the oldest pending event rather
+// than blocking registration (discovery is best-effort, like UPnP
+// announcements).
+func (r *Registry) Watch() (<-chan Event, func()) {
+	r.mu.Lock()
+	id := r.nextW
+	r.nextW++
+	ch := make(chan Event, 64)
+	r.watchers[id] = ch
+	r.mu.Unlock()
+	cancel := func() {
+		r.mu.Lock()
+		if c, ok := r.watchers[id]; ok {
+			delete(r.watchers, id)
+			close(c)
+		}
+		r.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+func (r *Registry) snapshotWatchers() []chan Event {
+	out := make([]chan Event, 0, len(r.watchers))
+	for _, ch := range r.watchers {
+		out = append(out, ch)
+	}
+	return out
+}
+
+func broadcast(watchers []chan Event, ev Event) {
+	for _, ch := range watchers {
+		for {
+			select {
+			case ch <- ev:
+			default:
+				// Drop the oldest pending event to make room.
+				select {
+				case <-ch:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}

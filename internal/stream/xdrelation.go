@@ -1,0 +1,253 @@
+// Package stream implements eXtended Dynamic relations — XD-Relations —
+// the continuous half of the Serena framework (Gripay et al., EDBT 2010,
+// Section 4): time-indexed multisets of tuples over an extended relation
+// schema, in the style of CQL. A finite XD-Relation supports insertions and
+// deletions and has, at every instant, a finite instantaneous relation; an
+// infinite XD-Relation is an append-only stream queried through windows.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"serena/internal/schema"
+	"serena/internal/service"
+	"serena/internal/value"
+)
+
+// EventKind tags insertions and deletions.
+type EventKind uint8
+
+// Event kinds.
+const (
+	Insert EventKind = iota
+	Delete
+)
+
+// Event is one change to an XD-Relation at a given instant.
+type Event struct {
+	At    service.Instant
+	Kind  EventKind
+	Tuple value.Tuple
+}
+
+// XDRelation is a dynamic relation: a mapping from time instants to
+// multisets of tuples over an extended schema (Section 4.1). It is safe for
+// concurrent use. Events may only be appended at non-decreasing instants.
+type XDRelation struct {
+	mu       sync.RWMutex
+	sch      *schema.Extended
+	infinite bool
+	events   []Event // ordered by At
+	lastAt   service.Instant
+	// current multiset (finite relations): tuple key → (tuple, count)
+	current map[string]*entry
+}
+
+type entry struct {
+	tuple value.Tuple
+	count int
+}
+
+// NewFinite creates a finite XD-Relation (a dynamic table: insertions and
+// deletions allowed, instantaneous relation always finite).
+func NewFinite(sch *schema.Extended) *XDRelation {
+	return &XDRelation{sch: sch, current: make(map[string]*entry), lastAt: -1}
+}
+
+// NewInfinite creates an infinite XD-Relation (an append-only stream).
+func NewInfinite(sch *schema.Extended) *XDRelation {
+	return &XDRelation{sch: sch, infinite: true, current: make(map[string]*entry), lastAt: -1}
+}
+
+// Schema returns the extended relation schema.
+func (x *XDRelation) Schema() *schema.Extended { return x.sch }
+
+// Infinite reports whether the XD-Relation is an append-only stream.
+func (x *XDRelation) Infinite() bool { return x.infinite }
+
+// Name returns the schema's relation symbol.
+func (x *XDRelation) Name() string { return x.sch.Name() }
+
+// LastInstant returns the instant of the latest event, or -1 when empty.
+func (x *XDRelation) LastInstant() service.Instant {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.lastAt
+}
+
+// Insert appends a tuple at the given instant. Instants must be
+// non-decreasing across all events.
+func (x *XDRelation) Insert(at service.Instant, t value.Tuple) error {
+	c, err := x.sch.RealRel().Conforms(t)
+	if err != nil {
+		return fmt.Errorf("stream: %s: %w", x.Name(), err)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if at < x.lastAt {
+		return fmt.Errorf("stream: %s: event at instant %d before last instant %d", x.Name(), at, x.lastAt)
+	}
+	x.lastAt = at
+	x.events = append(x.events, Event{At: at, Kind: Insert, Tuple: c})
+	k := c.Key()
+	if e, ok := x.current[k]; ok {
+		e.count++
+	} else {
+		x.current[k] = &entry{tuple: c, count: 1}
+	}
+	return nil
+}
+
+// Delete removes one occurrence of the tuple at the given instant. Streams
+// (infinite XD-Relations) are append-only and reject deletion; deleting a
+// tuple that is not present errors.
+func (x *XDRelation) Delete(at service.Instant, t value.Tuple) error {
+	if x.infinite {
+		return fmt.Errorf("stream: %s: streams are append-only", x.Name())
+	}
+	c, err := x.sch.RealRel().Conforms(t)
+	if err != nil {
+		return fmt.Errorf("stream: %s: %w", x.Name(), err)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if at < x.lastAt {
+		return fmt.Errorf("stream: %s: event at instant %d before last instant %d", x.Name(), at, x.lastAt)
+	}
+	k := c.Key()
+	e, ok := x.current[k]
+	if !ok || e.count == 0 {
+		return fmt.Errorf("stream: %s: deleting absent tuple %s", x.Name(), c)
+	}
+	x.lastAt = at
+	x.events = append(x.events, Event{At: at, Kind: Delete, Tuple: c})
+	e.count--
+	if e.count == 0 {
+		delete(x.current, k)
+	}
+	return nil
+}
+
+// Current returns the instantaneous multiset now (after all events),
+// expanded to a tuple slice. Only meaningful for finite XD-Relations; for
+// streams it returns everything ever inserted and should be avoided in
+// favour of InsertedIn.
+func (x *XDRelation) Current() []value.Tuple {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	keys := make([]string, 0, len(x.current))
+	for k := range x.current {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []value.Tuple
+	for _, k := range keys {
+		e := x.current[k]
+		for i := 0; i < e.count; i++ {
+			out = append(out, e.tuple)
+		}
+	}
+	return out
+}
+
+// At reconstructs the instantaneous multiset at instant τ by replaying the
+// event log (used for late observers and tests; live evaluation uses
+// Current/InsertedIn).
+func (x *XDRelation) At(at service.Instant) []value.Tuple {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	counts := map[string]*entry{}
+	for _, ev := range x.events {
+		if ev.At > at {
+			break
+		}
+		k := ev.Tuple.Key()
+		e, ok := counts[k]
+		if !ok {
+			e = &entry{tuple: ev.Tuple}
+			counts[k] = e
+		}
+		if ev.Kind == Insert {
+			e.count++
+		} else {
+			e.count--
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for k, e := range counts {
+		if e.count > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out []value.Tuple
+	for _, k := range keys {
+		e := counts[k]
+		for i := 0; i < e.count; i++ {
+			out = append(out, e.tuple)
+		}
+	}
+	return out
+}
+
+// InsertedIn returns the multiset of tuples inserted in the half-open
+// interval (from, to] — exactly the content the window operator W[period]
+// needs at instant τ with from = τ−period, to = τ (Section 4.2).
+func (x *XDRelation) InsertedIn(from, to service.Instant) []value.Tuple {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []value.Tuple
+	for i := x.firstEventAfterLocked(from); i < len(x.events); i++ {
+		ev := x.events[i]
+		if ev.At > to {
+			break
+		}
+		if ev.Kind == Insert {
+			out = append(out, ev.Tuple)
+		}
+	}
+	return out
+}
+
+// DeletedIn returns the multiset of tuples deleted in (from, to].
+func (x *XDRelation) DeletedIn(from, to service.Instant) []value.Tuple {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []value.Tuple
+	for i := x.firstEventAfterLocked(from); i < len(x.events); i++ {
+		ev := x.events[i]
+		if ev.At > to {
+			break
+		}
+		if ev.Kind == Delete {
+			out = append(out, ev.Tuple)
+		}
+	}
+	return out
+}
+
+// firstEventAfterLocked binary-searches the first event with At > from.
+func (x *XDRelation) firstEventAfterLocked(from service.Instant) int {
+	return sort.Search(len(x.events), func(i int) bool { return x.events[i].At > from })
+}
+
+// TrimBefore drops events at instants < before, bounding the log for
+// long-running streams. The current multiset is unaffected; At() becomes
+// unreliable for instants before the trim point.
+func (x *XDRelation) TrimBefore(before service.Instant) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	i := sort.Search(len(x.events), func(i int) bool { return x.events[i].At >= before })
+	if i > 0 {
+		x.events = append([]Event(nil), x.events[i:]...)
+	}
+}
+
+// EventCount returns the number of retained events.
+func (x *XDRelation) EventCount() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.events)
+}

@@ -1,0 +1,465 @@
+// Package wire implements the network layer of the PEMS Environment
+// Resource Manager (Gripay et al., EDBT 2010, Figure 1): a TCP protocol for
+// remote service invocation and node description, replacing the paper's
+// UPnP stack. A Local Environment Resource Manager exposes its registered
+// services through a wire.Server; the core ERM reaches them through
+// wire.Client proxies that satisfy service.Service, making remote services
+// indistinguishable from local ones to the algebra.
+//
+// Framing: gob-encoded, ID-tagged request/response messages over a
+// persistent connection with full multiplexing — many invocations may be in
+// flight concurrently on one connection (the server handles each request in
+// its own goroutine), which the parallel invocation operator exploits.
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"serena/internal/service"
+	"serena/internal/value"
+)
+
+// Value is the wire form of value.Value (gob needs exported fields).
+type Value struct {
+	Kind uint8
+	B    bool
+	I    int64
+	F    float64
+	S    string
+	Blob []byte
+}
+
+// EncodeValue converts a value to wire form.
+func EncodeValue(v value.Value) Value {
+	w := Value{Kind: uint8(v.Kind())}
+	switch v.Kind() {
+	case value.Bool:
+		w.B = v.Bool()
+	case value.Int:
+		w.I = v.Int()
+	case value.Real:
+		w.F = v.Real()
+	case value.String:
+		w.S = v.Str()
+	case value.Service:
+		w.S = v.ServiceRef()
+	case value.Blob:
+		w.Blob = v.Blob()
+	}
+	return w
+}
+
+// DecodeValue converts a wire value back.
+func DecodeValue(w Value) (value.Value, error) {
+	switch value.Kind(w.Kind) {
+	case value.Null:
+		return value.NewNull(), nil
+	case value.Bool:
+		return value.NewBool(w.B), nil
+	case value.Int:
+		return value.NewInt(w.I), nil
+	case value.Real:
+		return value.NewReal(w.F), nil
+	case value.String:
+		return value.NewString(w.S), nil
+	case value.Service:
+		return value.NewService(w.S), nil
+	case value.Blob:
+		return value.NewBlob(w.Blob), nil
+	}
+	return value.Value{}, fmt.Errorf("wire: unknown value kind %d", w.Kind)
+}
+
+// EncodeTuple converts a tuple to wire form.
+func EncodeTuple(t value.Tuple) []Value {
+	out := make([]Value, len(t))
+	for i, v := range t {
+		out[i] = EncodeValue(v)
+	}
+	return out
+}
+
+// DecodeTuple converts a wire tuple back.
+func DecodeTuple(ws []Value) (value.Tuple, error) {
+	out := make(value.Tuple, len(ws))
+	for i, w := range ws {
+		v, err := DecodeValue(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Request is the union of client→server messages.
+type Request struct {
+	// ID correlates the response on a multiplexed connection.
+	ID uint64
+	// Op is "invoke" or "describe".
+	Op string
+	// Invoke fields.
+	Proto string
+	Ref   string
+	Input []Value
+	At    int64
+}
+
+// ServiceInfo describes one hosted service.
+type ServiceInfo struct {
+	Ref        string
+	Prototypes []string
+}
+
+// Response is the union of server→client messages.
+type Response struct {
+	ID       uint64
+	Err      string
+	Rows     [][]Value     // invoke
+	Node     string        // describe
+	Services []ServiceInfo // describe
+}
+
+// Server exposes a Local ERM's services over TCP.
+type Server struct {
+	node string
+	reg  *service.Registry
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]bool
+	done  chan struct{}
+}
+
+// NewServer wraps a registry of local services under a node name.
+func NewServer(node string, reg *service.Registry) *Server {
+	return &Server{node: node, reg: reg, conns: make(map[net.Conn]bool), done: make(chan struct{})}
+}
+
+// Node returns the node name.
+func (s *Server) Node() string { return s.node }
+
+// Listen starts serving on the given address ("127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: %s: %w", s.node, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and drops all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	default:
+		close(s.done)
+	}
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		select {
+		case <-s.done:
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		default:
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	var wg sync.WaitGroup
+	defer func() {
+		wg.Wait()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var writeMu sync.Mutex
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			resp := s.handle(&req)
+			resp.ID = req.ID
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = enc.Encode(resp)
+		}(req)
+	}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	switch req.Op {
+	case "describe":
+		resp := &Response{Node: s.node}
+		for _, ref := range s.reg.Refs() {
+			svc, err := s.reg.Lookup(ref)
+			if err != nil {
+				continue
+			}
+			resp.Services = append(resp.Services, ServiceInfo{Ref: ref, Prototypes: svc.PrototypeNames()})
+		}
+		return resp
+
+	case "invoke":
+		input, err := DecodeTuple(req.Input)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		rows, err := s.reg.Invoke(req.Proto, req.Ref, input, service.Instant(req.At))
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		resp := &Response{Rows: make([][]Value, len(rows))}
+		for i, row := range rows {
+			resp.Rows[i] = EncodeTuple(row)
+		}
+		return resp
+	}
+	return &Response{Err: fmt.Sprintf("wire: unknown op %q", req.Op)}
+}
+
+// Client is a multiplexed connection to a Local ERM node: any number of
+// requests may be in flight concurrently; responses are matched by ID.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu      sync.Mutex // guards conn/enc/pending/nextID and writes
+	conn    net.Conn
+	enc     *gob.Encoder
+	pending map[uint64]chan *Response
+	nextID  uint64
+	closed  bool
+}
+
+// Dial connects to a node.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	c := &Client{addr: addr, timeout: timeout}
+	c.mu.Lock()
+	err := c.connectLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked (re)establishes the connection and starts its read loop.
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.pending = make(map[uint64]chan *Response)
+	go c.readLoop(conn, gob.NewDecoder(conn))
+	return nil
+}
+
+// readLoop routes responses to their waiters until the connection dies,
+// then fails everything still pending.
+func (c *Client) readLoop(conn net.Conn, dec *gob.Decoder) {
+	for {
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			c.mu.Lock()
+			if c.conn == conn {
+				c.conn = nil
+				c.enc = nil
+			}
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- &resp
+		}
+	}
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		c.enc = nil
+		return err
+	}
+	return nil
+}
+
+// Addr returns the remote address.
+func (c *Client) Addr() string { return c.addr }
+
+// roundTrip sends one request and waits for its response. A dead
+// connection is re-established for the next caller; the in-flight request
+// itself is not replayed (invocations may have side effects).
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: %s: client closed", c.addr)
+	}
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan *Response, 1)
+	c.pending[req.ID] = ch
+	err := c.enc.Encode(req)
+	if err != nil {
+		delete(c.pending, req.ID)
+		if c.conn != nil {
+			_ = c.conn.Close()
+			c.conn = nil
+			c.enc = nil
+		}
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: %s: %w", c.addr, err)
+	}
+	c.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if c.timeout > 0 {
+		timer := time.NewTimer(c.timeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("wire: %s: connection lost", c.addr)
+		}
+		return resp, nil
+	case <-timeout:
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: %s: request timed out after %s", c.addr, c.timeout)
+	}
+}
+
+// Describe queries the node's name and hosted services.
+func (c *Client) Describe() (string, []ServiceInfo, error) {
+	resp, err := c.roundTrip(&Request{Op: "describe"})
+	if err != nil {
+		return "", nil, err
+	}
+	if resp.Err != "" {
+		return "", nil, errors.New(resp.Err)
+	}
+	return resp.Node, resp.Services, nil
+}
+
+// Invoke performs a remote invocation.
+func (c *Client) Invoke(proto, ref string, input value.Tuple, at service.Instant) ([]value.Tuple, error) {
+	resp, err := c.roundTrip(&Request{
+		Op: "invoke", Proto: proto, Ref: ref, Input: EncodeTuple(input), At: int64(at),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	rows := make([]value.Tuple, len(resp.Rows))
+	for i, r := range resp.Rows {
+		t, err := DecodeTuple(r)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = t
+	}
+	return rows, nil
+}
+
+// Remote wraps one remote service behind a client connection so it
+// satisfies service.Service — the core ERM registers these proxies, making
+// remote invocation transparent to queries (Section 5.1).
+type Remote struct {
+	client *Client
+	ref    string
+	protos map[string]bool
+	names  []string
+}
+
+// NewRemote builds a proxy for the described service.
+func NewRemote(client *Client, info ServiceInfo) *Remote {
+	protos := make(map[string]bool, len(info.Prototypes))
+	for _, p := range info.Prototypes {
+		protos[p] = true
+	}
+	return &Remote{client: client, ref: info.Ref, protos: protos, names: append([]string(nil), info.Prototypes...)}
+}
+
+// Ref implements service.Service.
+func (r *Remote) Ref() string { return r.ref }
+
+// PrototypeNames implements service.Service.
+func (r *Remote) PrototypeNames() []string { return r.names }
+
+// Implements implements service.Service.
+func (r *Remote) Implements(p string) bool { return r.protos[p] }
+
+// Invoke implements service.Service by a wire round trip.
+func (r *Remote) Invoke(proto string, input value.Tuple, at service.Instant) ([]value.Tuple, error) {
+	return r.client.Invoke(proto, r.ref, input, at)
+}

@@ -1,0 +1,353 @@
+package wire_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"serena/internal/device"
+	"serena/internal/service"
+	"serena/internal/value"
+	"serena/internal/wire"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.NewNull(),
+		value.NewBool(true),
+		value.NewBool(false),
+		value.NewInt(-42),
+		value.NewReal(3.25),
+		value.NewString("héllo"),
+		value.NewService("sensor01"),
+		value.NewBlob([]byte{0, 1, 2, 255}),
+	}
+	for _, v := range vals {
+		got, err := wire.DecodeValue(wire.EncodeValue(v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got.Key() != v.Key() {
+			t.Errorf("round trip %v → %v", v, got)
+		}
+	}
+	if _, err := wire.DecodeValue(wire.Value{Kind: 99}); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	tu := value.Tuple{value.NewInt(1), value.NewString("x"), value.NewNull()}
+	got, err := wire.DecodeTuple(wire.EncodeTuple(tu))
+	if err != nil || !got.Equal(tu) {
+		t.Fatalf("round trip = %v, %v", got, err)
+	}
+}
+
+// startNode spins up a Local-ERM-style wire server hosting one sensor.
+func startNode(t *testing.T) (addr string, reg *service.Registry, srv *wire.Server) {
+	t.Helper()
+	reg = service.NewRegistry()
+	if err := reg.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterPrototype(device.SendMessageProto()); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(device.NewSensor("sensor01", "corridor", 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(device.NewMessenger("email", "email")); err != nil {
+		t.Fatal(err)
+	}
+	srv = wire.NewServer("node-A", reg)
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return bound, reg, srv
+}
+
+func TestDescribe(t *testing.T) {
+	addr, _, _ := startNode(t)
+	c, err := wire.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	node, infos, err := c.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != "node-A" || len(infos) != 2 {
+		t.Fatalf("describe = %s %v", node, infos)
+	}
+	// Sorted by ref: email before sensor01.
+	if infos[0].Ref != "email" || infos[1].Ref != "sensor01" {
+		t.Fatalf("infos = %v", infos)
+	}
+	if len(infos[1].Prototypes) != 1 || infos[1].Prototypes[0] != "getTemperature" {
+		t.Fatalf("sensor prototypes = %v", infos[1].Prototypes)
+	}
+}
+
+func TestRemoteInvoke(t *testing.T) {
+	addr, _, _ := startNode(t)
+	c, err := wire.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rows, err := c.Invoke("getTemperature", "sensor01", nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Kind() != value.Real {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Remote errors are surfaced as errors, not dropped connections.
+	_, err = c.Invoke("getTemperature", "ghost", nil, 0)
+	if err == nil {
+		t.Fatal("unknown remote service accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown service") {
+		t.Fatalf("error text lost over the wire: %v", err)
+	}
+	// The connection survives an application-level error.
+	if _, err := c.Invoke("getTemperature", "sensor01", nil, 6); err != nil {
+		t.Fatalf("connection broken after remote error: %v", err)
+	}
+}
+
+func TestRemoteProxyIsAService(t *testing.T) {
+	addr, _, _ := startNode(t)
+	c, err := wire.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, infos, err := c.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var proxy service.Service
+	for _, info := range infos {
+		if info.Ref == "sensor01" {
+			proxy = wire.NewRemote(c, info)
+		}
+	}
+	if proxy == nil || !proxy.Implements("getTemperature") || proxy.Implements("sendMessage") {
+		t.Fatal("proxy interface broken")
+	}
+	// Register the proxy in a central registry and invoke through it — the
+	// core-ERM pattern.
+	central := service.NewRegistry()
+	_ = central.RegisterPrototype(device.GetTemperatureProto())
+	if err := central.Register(proxy); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := central.Invoke("getTemperature", "sensor01", nil, 2)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("central invoke = %v %v", rows, err)
+	}
+}
+
+func TestActiveInvocationOverWire(t *testing.T) {
+	addr, reg, _ := startNode(t)
+	c, err := wire.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rows, err := c.Invoke("sendMessage", "email",
+		value.Tuple{value.NewString("x@y"), value.NewString("hi")}, 0)
+	if err != nil || len(rows) != 1 || !rows[0][0].Bool() {
+		t.Fatalf("remote send = %v %v", rows, err)
+	}
+	// The side effect landed on the REMOTE node's messenger.
+	svc, _ := reg.Lookup("email")
+	out := svc.(*device.Messenger).Outbox()
+	if len(out) != 1 || out[0].Address != "x@y" {
+		t.Fatalf("outbox = %v", out)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, _, _ := startNode(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := wire.Dial(addr, 2*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 25; j++ {
+				if _, err := c.Invoke("getTemperature", "sensor01", nil, service.Instant(j)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestServerClose(t *testing.T) {
+	addr, _, srv := startNode(t)
+	c, err := wire.Dial(addr, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke("getTemperature", "sensor01", nil, 0); err == nil {
+		t.Fatal("invoke against closed server succeeded")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := wire.Dial("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestClientReconnects(t *testing.T) {
+	// Kill the server's conns, then restart a server on the same addr is
+	// hard with ephemeral ports; instead verify the second call after a
+	// server-side connection drop re-establishes transparently: we close
+	// just the accepted conns via Close and re-listen on the same port.
+	reg := service.NewRegistry()
+	_ = reg.RegisterPrototype(device.GetTemperatureProto())
+	_ = reg.Register(device.NewSensor("s", "l", 1))
+	srv := wire.NewServer("n", reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := wire.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Invoke("getTemperature", "s", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+	srv2 := wire.NewServer("n", reg)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if _, err := c.Invoke("getTemperature", "s", nil, 1); err != nil {
+		t.Fatalf("client did not reconnect: %v", err)
+	}
+}
+
+func TestMultiplexedInvocations(t *testing.T) {
+	// One client, many concurrent in-flight requests against a slow remote
+	// service: with multiplexing, total wall time ≈ one latency, not N.
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+		t.Fatal(err)
+	}
+	const lat = 40 * time.Millisecond
+	if err := reg.Register(service.NewFunc("slow", map[string]service.InvokeFunc{
+		"getTemperature": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+			time.Sleep(lat)
+			return []value.Tuple{{value.NewReal(20)}}, nil
+		},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer("n", reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const inflight = 8
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Invoke("getTemperature", "slow", nil, service.Instant(i))
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// Sequential would take ≈ 8×40ms = 320ms; multiplexed ≈ 40ms. Allow 4×.
+	if elapsed > 4*lat {
+		t.Fatalf("multiplexing ineffective: %v for %d in-flight requests", elapsed, inflight)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(service.NewFunc("hang", map[string]service.InvokeFunc{
+		"getTemperature": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+			time.Sleep(2 * time.Second)
+			return nil, nil
+		},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer("n", reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := wire.Dial(addr, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Invoke("getTemperature", "hang", nil, 0)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout too slow")
+	}
+}
+
+func TestClientClosedRejectsCalls(t *testing.T) {
+	addr, _, _ := startNode(t)
+	c, err := wire.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	if _, err := c.Invoke("getTemperature", "sensor01", nil, 0); err == nil {
+		t.Fatal("closed client accepted a call")
+	}
+}
