@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz examples fmt vet clean
+.PHONY: all build test race cover bench experiments fuzz examples fmt vet check clean
 
 all: build vet test
+
+# The CI gate: static checks plus the full test suite under the race
+# detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

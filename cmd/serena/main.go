@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"serena/internal/device"
 	"serena/internal/pems"
 	"serena/internal/query"
+	"serena/internal/resilience"
 	"serena/internal/schema"
 	"serena/internal/value"
 	"serena/internal/wire"
@@ -41,10 +43,32 @@ func main() {
 	demo := flag.Bool("demo", false, "load the paper's temperature-surveillance scenario")
 	script := flag.String("script", "", "DDL script to execute before going interactive")
 	connect := flag.String("connect", "", "comma-separated pemsd addresses to attach")
+	invokeTimeout := flag.Duration("invoke-timeout", 0, "deadline per service invocation (0 = none)")
+	retries := flag.Int("retries", 1, "max attempts per passive invocation (1 = no retry)")
+	retryBase := flag.Duration("retry-base", 10*time.Millisecond, "base backoff between retries")
+	breakers := flag.Bool("breakers", false, "enable per-service circuit breakers")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive failures before a breaker opens")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-state cooldown before a half-open probe")
 	flag.Parse()
 
 	p := pems.New()
 	defer p.Close()
+
+	if *invokeTimeout > 0 {
+		p.SetInvocationTimeout(*invokeTimeout)
+	}
+	if *retries > 1 {
+		rp := resilience.DefaultRetry()
+		rp.MaxAttempts = *retries
+		rp.BaseDelay = *retryBase
+		p.SetRetryPolicy(rp)
+	}
+	if *breakers {
+		p.EnableBreakers(resilience.BreakerPolicy{
+			FailureThreshold: *breakerFailures,
+			Cooldown:         *breakerCooldown,
+		})
+	}
 
 	if err := p.ExecuteDDL(prototypesDDL); err != nil {
 		log.Fatalf("serena: %v", err)
@@ -180,7 +204,7 @@ func loadDemo(p *pems.PEMS) error {
 	return err
 }
 
-var ddlKeywords = []string{"PROTOTYPE", "SERVICE", "EXTENDED", "STREAM", "INSERT", "DELETE", "DROP"}
+var ddlKeywords = []string{"PROTOTYPE", "SERVICE", "EXTENDED", "STREAM", "INSERT", "DELETE", "DROP", "REGISTER", "UNREGISTER"}
 
 func looksLikeDDL(line string) bool {
 	up := strings.ToUpper(strings.TrimSpace(line))
@@ -265,6 +289,9 @@ func command(p *pems.PEMS, line string) bool {
   .queries                        list continuous queries
   .services                       list discovered services
   .parallel <n>                   set invocation parallelism (default 1)
+  .onerror <name> FAIL|SKIP|NULL  set a query's degradation policy
+  .errors <name>                  show a query's recorded invocation failures
+  .breakers                       show circuit-breaker states (-breakers)
   .explain <query>                show the optimized plan and rewrite steps
   .dump                           print the environment as re-executable DDL
   .quit
@@ -340,6 +367,57 @@ func command(p *pems.PEMS, line string) bool {
 		}
 		p.SetInvocationParallelism(n)
 		fmt.Printf("invocation parallelism set to %d\n", n)
+	case ".onerror":
+		if len(fields) != 3 {
+			fmt.Println("usage: .onerror <query> FAIL|SKIP|NULL")
+			break
+		}
+		policy, err := resilience.ParsePolicy(fields[2])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if err := p.SetQueryDegradation(fields[1], policy); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("query %q now degrades with %s\n", fields[1], policy)
+	case ".errors":
+		if len(fields) != 2 {
+			fmt.Println("usage: .errors <query>")
+			break
+		}
+		q, ok := p.Executor().Query(fields[1])
+		if !ok {
+			fmt.Println("error: unknown query", fields[1])
+			break
+		}
+		errs := q.InvokeErrors()
+		if len(errs) == 0 {
+			fmt.Println("no invocation failures recorded")
+			break
+		}
+		for _, e := range errs {
+			fmt.Printf("  %s\n", e.Error())
+		}
+	case ".breakers":
+		states := p.BreakerStates()
+		if states == nil {
+			fmt.Println("circuit breakers not enabled (start with -breakers)")
+			break
+		}
+		if len(states) == 0 {
+			fmt.Println("no services tracked yet (breakers track failures lazily)")
+			break
+		}
+		refs := make([]string, 0, len(states))
+		for ref := range states {
+			refs = append(refs, ref)
+		}
+		sort.Strings(refs)
+		for _, ref := range refs {
+			fmt.Printf("  %-16s %s\n", ref, states[ref])
+		}
 	case ".explain":
 		src := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
 		if src == "" {

@@ -15,6 +15,7 @@ import (
 
 	"serena/internal/algebra"
 	"serena/internal/query"
+	"serena/internal/resilience"
 	"serena/internal/schema"
 	"serena/internal/service"
 	"serena/internal/stream"
@@ -119,6 +120,10 @@ type Query struct {
 	actions *query.ActionSet
 	lastRes *algebra.XRelation
 	invErrs []query.InvokeError
+
+	// degradation selects the query's β failure policy (guarded by the
+	// executor lock; resilience.Default behaves like SkipTuple here).
+	degradation resilience.DegradationPolicy
 }
 
 // Name returns the query's registration name.
@@ -143,6 +148,9 @@ func (q *Query) Actions() *query.ActionSet { return q.actions }
 
 // LastResult returns the instantaneous result of the latest tick.
 func (q *Query) LastResult() *algebra.XRelation { return q.lastRes }
+
+// Degradation returns the query's β failure policy.
+func (q *Query) Degradation() resilience.DegradationPolicy { return q.degradation }
 
 // InvokeErrors returns the invocation failures skipped so far (most recent
 // last, bounded to the last 100). A flaky device degrades a continuous
@@ -221,6 +229,32 @@ func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
 	// downstream consumer sees the producer's output for the same instant.
 	e.rels[name] = out
 	return q, nil
+}
+
+// SetDegradation selects a registered query's β failure policy:
+// resilience.FailFast aborts the tick on the first invocation failure
+// (today's one-shot behavior), resilience.SkipTuple drops the failing
+// tuple (the default for continuous queries — the paper's no-service
+// case), resilience.NullFill keeps the tuple with its virtual attributes
+// realized as NULL. Failed tuples are never cached: they are retried at
+// the next instant under every policy.
+func (e *Executor) SetDegradation(name string, p resilience.DegradationPolicy) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[name]
+	if !ok {
+		return fmt.Errorf("cq: unknown query %q", name)
+	}
+	q.degradation = p
+	return nil
+}
+
+// Query returns a registered continuous query by name.
+func (e *Executor) Query(name string) (*Query, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[name]
+	return q, ok
 }
 
 // Unregister stops and removes a continuous query.
@@ -340,8 +374,14 @@ func (e *Executor) evalQuery(q *Query, at service.Instant) error {
 	ctx := query.NewContext(schemaEnv{e}, e.reg, at)
 	ctx.Parallelism = e.parallelism
 	ev := &evaluator{exec: e, q: q, ctx: ctx, at: at}
-	// A failing device skips its tuple rather than aborting the standing
-	// query; the failure is recorded on the query.
+	// The query's degradation policy decides what β does with a failing
+	// device; continuous queries default to SkipTuple so one flaky sensor
+	// degrades a standing query to partial results instead of killing it.
+	// Every failure is recorded on the query either way.
+	ctx.Degradation = q.degradation
+	if ctx.Degradation == resilience.Default {
+		ctx.Degradation = resilience.SkipTuple
+	}
 	ctx.OnInvokeError = func(bp schema.BindingPattern, ref string, input value.Tuple, err error) error {
 		q.recordInvokeError(query.InvokeError{BP: bp.ID(), Ref: ref, Input: input.Clone(), Err: err})
 		return nil
@@ -625,8 +665,11 @@ func (d *deltaInvoker) Invoke(bp schema.BindingPattern, ref string, input value.
 		return nil, err
 	}
 	if *skipped {
-		// Failed-and-skipped: contribute nothing now, retry next instant.
-		return nil, nil
+		// Failed invocation absorbed by the degradation policy: pass its
+		// stand-in rows through (nothing for SkipTuple, an all-NULL fill
+		// for NullFill) WITHOUT caching them, so the tuple is retried at
+		// the next instant.
+		return rows, nil
 	}
 	d.mu.Lock()
 	d.next[key] = rows

@@ -106,15 +106,20 @@ func (*Drop) stmt() {}
 // RegisterQuery declares a continuous query inside a DDL script:
 //
 //	REGISTER QUERY alerts AS invoke[sendMessage](…);
-//	REGISTER QUERY means  AS SELECT location, mean(temperature) AS avg
+//	REGISTER QUERY means  ON ERROR NULL
+//	                      AS SELECT location, mean(temperature) AS avg
 //	                         FROM temperatures[5] GROUP BY location;
 //
 // The query body (Serena Algebra Language or Serena SQL) is captured up to
 // the terminating ';' and compiled by the PEMS query processor — the
-// catalog itself rejects it (queries are not tables).
+// catalog itself rejects it (queries are not tables). The optional ON ERROR
+// clause picks the β degradation policy (FAIL, SKIP, or NULL) applied when
+// a bound service fails mid-query; omitted, the executor's continuous
+// default (SKIP) applies.
 type RegisterQuery struct {
-	Name   string
-	Source string
+	Name    string
+	Source  string
+	OnError string // "", "FAIL", "SKIP", or "NULL"
 }
 
 func (*RegisterQuery) stmt() {}
@@ -227,7 +232,7 @@ func (p *parser) statement() (Statement, error) {
 	return nil, p.errf(tok, "unknown statement starting with %s", tok)
 }
 
-// registerQuery := QUERY name AS <tokens until ';'>
+// registerQuery := QUERY name [ON ERROR (FAIL|SKIP|NULL)] AS <tokens until ';'>
 func (p *parser) registerQuery() (Statement, error) {
 	if err := p.expectKeyword("QUERY"); err != nil {
 		return nil, err
@@ -235,6 +240,27 @@ func (p *parser) registerQuery() (Statement, error) {
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
+	}
+	st := &RegisterQuery{Name: name}
+	tok, err := p.lx.Peek()
+	if err != nil {
+		return nil, err
+	}
+	if tok.IsKeyword("ON") {
+		_, _ = p.next()
+		if err := p.expectKeyword("ERROR"); err != nil {
+			return nil, err
+		}
+		ptok, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case ptok.IsKeyword("FAIL"), ptok.IsKeyword("SKIP"), ptok.IsKeyword("NULL"):
+			st.OnError = strings.ToUpper(ptok.Text)
+		default:
+			return nil, p.errf(ptok, "expected FAIL, SKIP or NULL after ON ERROR, got %s", ptok)
+		}
 	}
 	if err := p.expectKeyword("AS"); err != nil {
 		return nil, err
@@ -246,7 +272,8 @@ func (p *parser) registerQuery() (Statement, error) {
 	if strings.TrimSpace(src) == "" {
 		return nil, fmt.Errorf("ddl: REGISTER QUERY %s: empty query body", name)
 	}
-	return &RegisterQuery{Name: name, Source: src}, nil
+	st.Source = src
+	return st, nil
 }
 
 // unregisterQuery := QUERY name ';'

@@ -293,3 +293,36 @@ func TestRegisterQueryStatement(t *testing.T) {
 		}
 	}
 }
+
+func TestRegisterQueryOnError(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want string
+	}{
+		{`REGISTER QUERY q AS select[true](r);`, ""},
+		{`REGISTER QUERY q ON ERROR FAIL AS select[true](r);`, "FAIL"},
+		{`REGISTER QUERY q ON ERROR skip AS select[true](r);`, "SKIP"},
+		{`REGISTER QUERY q ON ERROR NULL AS select[true](r);`, "NULL"},
+	} {
+		st, err := ddl.ParseOne(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		rq := st.(*ddl.RegisterQuery)
+		if rq.OnError != tc.want {
+			t.Errorf("%s: OnError = %q, want %q", tc.src, rq.OnError, tc.want)
+		}
+		if !strings.Contains(rq.Source, "select") {
+			t.Errorf("%s: body lost: %q", tc.src, rq.Source)
+		}
+	}
+	for _, src := range []string{
+		`REGISTER QUERY q ON ERROR AS select[true](r);`,
+		`REGISTER QUERY q ON ERROR RETRY AS select[true](r);`,
+		`REGISTER QUERY q ON FAIL AS select[true](r);`,
+	} {
+		if _, err := ddl.ParseOne(src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}

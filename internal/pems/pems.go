@@ -20,6 +20,7 @@ import (
 	"serena/internal/discovery"
 	"serena/internal/optimizer"
 	"serena/internal/query"
+	"serena/internal/resilience"
 	"serena/internal/rewrite"
 	"serena/internal/sal"
 	"serena/internal/schema"
@@ -116,13 +117,49 @@ func (p *PEMS) invocationParallelism() int {
 	return p.parallelism
 }
 
+// SetInvocationTimeout bounds every physical service invocation (local or
+// remote) performed through this PEMS. Zero disables the deadline.
+func (p *PEMS) SetInvocationTimeout(d time.Duration) { p.registry.SetInvokeTimeout(d) }
+
+// SetRetryPolicy configures transparent retries of failed invocations.
+// Only PASSIVE prototypes are ever retried — retrying an active invocation
+// could duplicate its external effect and inflate the query's action set
+// (Definition 8); see DESIGN.md, "Failure semantics".
+func (p *PEMS) SetRetryPolicy(rp resilience.RetryPolicy) { p.registry.SetRetryPolicy(rp) }
+
+// EnableBreakers turns on per-service circuit breakers: a service failing
+// repeatedly is treated as temporarily withdrawn from the environment (its
+// breaker opens, it disappears from discovery) until a half-open probe
+// succeeds.
+func (p *PEMS) EnableBreakers(policy resilience.BreakerPolicy) *resilience.BreakerSet {
+	return p.registry.EnableBreakers(policy)
+}
+
+// BreakerStates reports the breaker state of every tracked service; nil if
+// breakers are not enabled.
+func (p *PEMS) BreakerStates() map[string]resilience.State {
+	b := p.registry.Breakers()
+	if b == nil {
+		return nil
+	}
+	return b.States()
+}
+
+// SetQueryDegradation sets the β degradation policy of a registered
+// continuous query (what a failing bound service does to the query:
+// abort, drop the tuple, or null-fill its virtual attributes).
+func (p *PEMS) SetQueryDegradation(name string, policy resilience.DegradationPolicy) error {
+	return p.exec.SetDegradation(name, policy)
+}
+
 // ExecuteDDL runs a Serena DDL script. Data statements are stamped at the
 // next tick instant so running continuous queries observe them on the
 // following Tick. REGISTER QUERY statements are compiled (Serena SQL or
 // Serena Algebra Language, auto-detected) and registered with the query
 // processor with optimization enabled, so a single script can declare a
 // whole application (Section 5.1: the Query Processor "allows to register
-// queries").
+// queries"). An ON ERROR clause on a REGISTER QUERY selects the query's β
+// degradation policy.
 func (p *PEMS) ExecuteDDL(src string) error {
 	stmts, err := ddl.Parse(src)
 	if err != nil {
@@ -136,6 +173,12 @@ func (p *PEMS) ExecuteDDL(src string) error {
 				_, err = p.RegisterQuerySQL(t.Name, t.Source, true)
 			} else {
 				_, err = p.RegisterQuery(t.Name, t.Source, true)
+			}
+			if err == nil && t.OnError != "" {
+				var policy resilience.DegradationPolicy
+				if policy, err = resilience.ParsePolicy(t.OnError); err == nil {
+					err = p.exec.SetDegradation(t.Name, policy)
+				}
 			}
 		case *ddl.UnregisterQuery:
 			err = p.exec.Unregister(t.Name)

@@ -1,12 +1,14 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"serena/internal/algebra"
+	"serena/internal/resilience"
 	"serena/internal/schema"
 	"serena/internal/service"
 	"serena/internal/value"
@@ -139,18 +141,34 @@ type Context struct {
 	// queries.
 	Continuous ContinuousHooks
 
-	// OnInvokeError, when non-nil, decides what happens when a physical
-	// invocation fails (unreachable device, remote error): returning nil
-	// skips the failing tuple (it contributes no output, like an empty
-	// invocation result); returning an error aborts the query. Nil fails
-	// fast — the right default for one-shot queries, while the continuous
-	// executor installs a collector so one flaky device cannot kill a
-	// standing query.
+	// OnInvokeError, when non-nil, observes every physical invocation
+	// failure (unreachable device, remote error, open breaker). With
+	// Degradation left at resilience.Default it also DECIDES: returning
+	// nil skips the failing tuple (it contributes no output, like an
+	// empty invocation result); returning an error aborts the query; and
+	// a nil OnInvokeError fails fast — the right default for one-shot
+	// queries, while the continuous executor installs a collector so one
+	// flaky device cannot kill a standing query. With an explicit
+	// Degradation policy the callback is a pure observer (its non-nil
+	// return still vetoes/aborts) and the policy decides.
 	//
 	// For ACTIVE binding patterns the action is recorded before the
 	// physical call, so a failed active invocation still appears in the
 	// action set: it was attempted, and its physical effect is unknown.
 	OnInvokeError func(bp schema.BindingPattern, ref string, input value.Tuple, err error) error
+
+	// Degradation selects what the invocation operator β does with a
+	// tuple whose physical invocation failed: resilience.FailFast aborts
+	// the query, resilience.SkipTuple drops the tuple (the paper's
+	// no-service case), resilience.NullFill keeps it with its virtual
+	// attributes realized as NULL. resilience.Default preserves the
+	// legacy OnInvokeError contract above.
+	Degradation resilience.DegradationPolicy
+
+	// Ctx carries cancellation and deadlines down through
+	// Registry.InvokeCtx into the physical invocation (remote round trips
+	// included). Nil means context.Background().
+	Ctx context.Context
 
 	// Parallelism bounds how many service invocations one invocation
 	// operator may run concurrently (Section 5.1: invocations are handled
@@ -214,9 +232,9 @@ func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input valu
 	if bp.Active() {
 		c.Actions.Add(Action{BP: bp.ID(), Ref: ref, Input: input.Clone()})
 		c.bump(&c.Stats.Active)
-		rows, err := c.Registry.Invoke(bp.Proto.Name, ref, input, c.At)
+		rows, err := c.Registry.InvokeCtx(c.ctx(), bp.Proto.Name, ref, input, c.At)
 		if err != nil {
-			return nil, c.invokeFailed(bp, ref, input, err, skipped)
+			return c.invokeFailed(bp, ref, input, err, skipped)
 		}
 		return rows, nil
 	}
@@ -226,15 +244,23 @@ func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input valu
 			return rows, nil
 		}
 	}
-	rows, err := c.Registry.Invoke(bp.Proto.Name, ref, input, c.At)
+	rows, err := c.Registry.InvokeCtx(c.ctx(), bp.Proto.Name, ref, input, c.At)
 	if err != nil {
-		return nil, c.invokeFailed(bp, ref, input, err, skipped)
+		return c.invokeFailed(bp, ref, input, err, skipped)
 	}
 	c.bump(&c.Stats.Passive)
 	if c.Memo != nil {
 		c.Memo.Put(bp.Proto.Name, ref, input, rows)
 	}
 	return rows, nil
+}
+
+// ctx returns the evaluation context's context.Context (never nil).
+func (c *Context) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // MaxParallel implements algebra.ParallelInvoker.
@@ -246,17 +272,53 @@ func (c *Context) bump(counter *int64) {
 	c.statsMu.Unlock()
 }
 
-// invokeFailed applies the error policy: nil result means "skip the tuple"
-// (the caller sees an empty invocation result) and marks *skipped.
-func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value.Tuple, err error, skipped *bool) error {
-	if c.OnInvokeError == nil {
-		return err
+// invokeFailed applies the degradation policy to one failed invocation.
+// The rows it returns stand in for the invocation result: nil rows with
+// *skipped set means "drop the tuple"; a single all-NULL row (NullFill)
+// realizes the virtual attributes as unknown. Skipped/null-filled results
+// must never be cached across instants — the tuple is retried at the next
+// one (*skipped signals that to the continuous executor's delta cache).
+func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value.Tuple, err error, skipped *bool) ([]value.Tuple, error) {
+	if c.Degradation == resilience.Default {
+		// Legacy contract: no collector → fail fast; a collector decides
+		// by its return value (nil = skip the tuple).
+		if c.OnInvokeError == nil {
+			return nil, err
+		}
+		c.statsMu.Lock()
+		policyErr := c.OnInvokeError(bp, ref, input, err)
+		c.statsMu.Unlock()
+		if policyErr == nil && skipped != nil {
+			*skipped = true
+		}
+		return nil, policyErr
 	}
-	c.statsMu.Lock()
-	policyErr := c.OnInvokeError(bp, ref, input, err)
-	c.statsMu.Unlock()
-	if policyErr == nil && skipped != nil {
-		*skipped = true
+	// Explicit policy: the collector observes (a non-nil return still
+	// vetoes and aborts the query), then the policy decides.
+	if c.OnInvokeError != nil {
+		c.statsMu.Lock()
+		policyErr := c.OnInvokeError(bp, ref, input, err)
+		c.statsMu.Unlock()
+		if policyErr != nil {
+			return nil, policyErr
+		}
 	}
-	return policyErr
+	switch c.Degradation {
+	case resilience.SkipTuple:
+		if skipped != nil {
+			*skipped = true
+		}
+		return nil, nil
+	case resilience.NullFill:
+		if skipped != nil {
+			*skipped = true
+		}
+		row := make(value.Tuple, bp.Proto.Output.Arity())
+		for i := range row {
+			row[i] = value.NewNull()
+		}
+		return []value.Tuple{row}, nil
+	default: // resilience.FailFast
+		return nil, err
+	}
 }

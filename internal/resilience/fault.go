@@ -1,0 +1,52 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultPlan is a deterministic fault-injection schedule keyed by the
+// discrete evaluation instant (and an arbitrary per-call key). The same
+// plan replayed over the same instants yields the same faults — chaos tests
+// stay reproducible, matching the paper's determinism-at-an-instant
+// assumption (Section 3.2).
+//
+// All fields compose; the zero value injects nothing.
+type FaultPlan struct {
+	// Seed decorrelates plans sharing the same rates.
+	Seed uint64
+	// FailureRate ∈ [0,1] fails a deterministic pseudo-random fraction of
+	// calls, hashed from (Seed, instant, key).
+	FailureRate float64
+	// Latency delays every surviving call (injected slowness).
+	Latency time.Duration
+	// DownIntervals lists [from, to] instant ranges (inclusive) during
+	// which every call fails — a withdrawn or crashed service.
+	DownIntervals [][2]int64
+	// FlapPeriod > 0 makes the service alternate availability: down for
+	// every odd period of that many instants (instants [p,2p), [3p,4p)…).
+	FlapPeriod int64
+}
+
+// ErrInjected is the error value faults surface (wrapped with context).
+var ErrInjected = fmt.Errorf("resilience: injected fault")
+
+// ShouldFail reports whether the call identified by (at, key) fails under
+// the plan.
+func (p *FaultPlan) ShouldFail(at int64, key string) bool {
+	if p == nil {
+		return false
+	}
+	for _, iv := range p.DownIntervals {
+		if at >= iv[0] && at <= iv[1] {
+			return true
+		}
+	}
+	if p.FlapPeriod > 0 && (at/p.FlapPeriod)%2 == 1 {
+		return true
+	}
+	if p.FailureRate > 0 && Uniform(fmt.Sprintf("%d|%s", at, key), p.Seed) < p.FailureRate {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+// Package resilience provides the fault-tolerance primitives the
+// invocation path threads through the system: degradation policies for the
+// invocation operator β, retry policies with exponential backoff and
+// deterministic jitter, per-service circuit breakers, and deterministic
+// fault-injection schedules for chaos tests.
+//
+// The paper's environments are volatile by construction — services
+// "register and withdraw dynamically" (Gripay et al., EDBT 2010, Section
+// 2.3) — so failure handling is part of the semantics, not an afterthought:
+//
+//   - Retries are only sound for PASSIVE prototypes. An active invocation
+//     has a physical side effect, and re-invoking it would duplicate the
+//     query's action set (Definition 8) — exactly the reason the paper's
+//     Table 5 rewritings are restricted to passive invocations.
+//   - An open circuit breaker is treated as temporary service withdrawal:
+//     the service is masked out of discovery, so breaker state flows into
+//     the service-discovery X-Relations as natural dynamicity.
+//   - Degradation policies decide what β does with a tuple whose
+//     invocation failed: abort the query, drop the tuple (the paper's
+//     no-service case), or realize the virtual attributes as NULL.
+//
+// The package has no dependencies on the rest of the repo, so every layer
+// (service registry, wire client, continuous executor, PEMS facade) can
+// share it without import cycles.
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DegradationPolicy selects what the invocation operator β does with a
+// tuple whose physical invocation failed.
+type DegradationPolicy uint8
+
+const (
+	// Default preserves the legacy behavior of the evaluation context: a
+	// one-shot query fails fast, while a caller that installs an error
+	// collector skips the failing tuple.
+	Default DegradationPolicy = iota
+	// FailFast aborts the whole query on the first invocation failure.
+	FailFast
+	// SkipTuple drops the failing tuple: it contributes no output, exactly
+	// like the paper's no-service case (a NULL service reference).
+	SkipTuple
+	// NullFill keeps the failing tuple, realizing its virtual attributes
+	// as NULL — the query shape is preserved, the data is marked unknown.
+	NullFill
+)
+
+// String renders the DDL spelling of the policy.
+func (p DegradationPolicy) String() string {
+	switch p {
+	case Default:
+		return "DEFAULT"
+	case FailFast:
+		return "FAIL"
+	case SkipTuple:
+		return "SKIP"
+	case NullFill:
+		return "NULL"
+	}
+	return fmt.Sprintf("DegradationPolicy(%d)", uint8(p))
+}
+
+// ParsePolicy parses the DDL spelling (FAIL | SKIP | NULL, case-insensitive).
+func ParsePolicy(s string) (DegradationPolicy, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "FAIL", "FAILFAST":
+		return FailFast, nil
+	case "SKIP", "SKIPTUPLE":
+		return SkipTuple, nil
+	case "NULL", "NULLFILL":
+		return NullFill, nil
+	case "DEFAULT", "":
+		return Default, nil
+	}
+	return Default, fmt.Errorf("resilience: unknown degradation policy %q (want FAIL, SKIP or NULL)", s)
+}
+
+// RetryPolicy describes capped exponential backoff with deterministic
+// jitter. The zero value means "no retries".
+type RetryPolicy struct {
+	// MaxAttempts bounds the total number of attempts (first call
+	// included). Values < 2 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth. 0 means no cap.
+	MaxDelay time.Duration
+	// Multiplier scales the delay between consecutive retries; values
+	// <= 1 mean constant backoff.
+	Multiplier float64
+	// JitterFrac spreads each delay by ±JitterFrac·delay using a
+	// deterministic hash of the attempt and key, so tests are repeatable
+	// while a fleet of retriers still decorrelates. 0 disables jitter.
+	JitterFrac float64
+}
+
+// DefaultRetry is a sensible production policy: 3 attempts, 10ms → 40ms
+// backoff with 20% jitter.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 250 * time.Millisecond, Multiplier: 2, JitterFrac: 0.2}
+}
+
+// Backoff returns the delay to sleep before retry number `retry` (0-based:
+// Backoff(0, key) precedes the second attempt). key decorrelates jitter
+// between callers deterministically.
+func (p RetryPolicy) Backoff(retry int, key string) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	for i := 0; i < retry; i++ {
+		d = time.Duration(float64(d) * mult)
+		if p.MaxDelay > 0 && d > p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.JitterFrac > 0 {
+		// Deterministic jitter in [-JitterFrac, +JitterFrac).
+		u := Uniform(fmt.Sprintf("%s#%d", key, retry), 0)
+		d = time.Duration(float64(d) * (1 + p.JitterFrac*(2*u-1)))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// SleepCtx sleeps for d unless the context ends first, in which case the
+// context error is returned — a retry loop must not outlive its deadline.
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Uniform hashes (key, seed) to a deterministic pseudo-uniform float in
+// [0, 1). It backs jittered backoff and fault-injection schedules: same
+// inputs, same outcome, run after run.
+func Uniform(key string, seed uint64) float64 {
+	// FNV-1a over the seed then the key.
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= prime
+	}
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	// FNV-1a avalanches its final bytes poorly, which skews nearly-identical
+	// keys ("…|i0", "…|i1", …) toward the same region of [0,1) — exactly the
+	// keys fault plans hash. A splitmix64-style finalizer restores the
+	// spread.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	// Top 53 bits → [0,1).
+	return float64(h>>11) / (1 << 53)
+}

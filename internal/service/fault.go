@@ -1,0 +1,51 @@
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"serena/internal/resilience"
+	"serena/internal/value"
+)
+
+// Faulty wraps a Service with a deterministic fault-injection plan:
+// failures, extra latency and availability windows are decided by the
+// discrete instant (and call identity), never by wall-clock randomness, so
+// chaos tests replay identically. The wrapper counts physical calls, which
+// lets tests prove that a short-circuited invocation (open breaker) never
+// reached the service.
+type Faulty struct {
+	inner Service
+	plan  *resilience.FaultPlan
+	calls atomic.Int64
+}
+
+// NewFaulty wraps a service under a fault plan (nil plan injects nothing).
+func NewFaulty(inner Service, plan *resilience.FaultPlan) *Faulty {
+	return &Faulty{inner: inner, plan: plan}
+}
+
+// Ref implements Service.
+func (f *Faulty) Ref() string { return f.inner.Ref() }
+
+// PrototypeNames implements Service.
+func (f *Faulty) PrototypeNames() []string { return f.inner.PrototypeNames() }
+
+// Implements implements Service.
+func (f *Faulty) Implements(proto string) bool { return f.inner.Implements(proto) }
+
+// Calls returns how many invocations physically reached this wrapper.
+func (f *Faulty) Calls() int64 { return f.calls.Load() }
+
+// Invoke implements Service, applying the plan before delegating.
+func (f *Faulty) Invoke(proto string, input value.Tuple, at Instant) ([]value.Tuple, error) {
+	f.calls.Add(1)
+	if f.plan.ShouldFail(int64(at), f.inner.Ref()+"|"+proto+"|"+input.Key()) {
+		return nil, fmt.Errorf("%w: %s on %s at %d", resilience.ErrInjected, proto, f.inner.Ref(), at)
+	}
+	if f.plan != nil && f.plan.Latency > 0 {
+		time.Sleep(f.plan.Latency)
+	}
+	return f.inner.Invoke(proto, input, at)
+}

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"serena/internal/resilience"
+	"serena/internal/value"
+)
+
+// CtxService is an optional Service extension for implementations that can
+// honor a context deadline natively (remote proxies propagate it to the
+// wire round trip). Services without it are driven through a goroutine and
+// abandoned when the deadline fires — the call is bounded either way.
+type CtxService interface {
+	Service
+	InvokeCtx(ctx context.Context, proto string, input value.Tuple, at Instant) ([]value.Tuple, error)
+}
+
+// SetInvokeTimeout bounds every physical invocation through this registry:
+// a service (local or remote) that does not answer within d fails with
+// context.DeadlineExceeded instead of stalling the operator. d <= 0
+// disables the bound (the default).
+func (r *Registry) SetInvokeTimeout(d time.Duration) {
+	r.mu.Lock()
+	r.invokeTimeout = d
+	r.mu.Unlock()
+}
+
+// SetRetryPolicy installs a retry policy for failed invocations. Retries
+// apply ONLY to passive prototypes: re-invoking an active prototype would
+// duplicate the query's action set (Definition 8) — the same soundness rule
+// that restricts the paper's Table 5 rewritings to passive invocations. The
+// zero policy disables retrying (the default).
+func (r *Registry) SetRetryPolicy(p resilience.RetryPolicy) {
+	r.mu.Lock()
+	r.retry = p
+	r.mu.Unlock()
+}
+
+// EnableBreakers attaches per-service circuit breakers: after
+// FailureThreshold consecutive failures a service's breaker opens, calls to
+// it short-circuit with resilience.ErrOpen (no physical attempt), and the
+// service is masked out of Implementing — an open breaker looks like
+// temporary service withdrawal to the discovery X-Relations. After the
+// cooldown a half-open probe tests recovery. The returned set can be
+// inspected for operational visibility.
+func (r *Registry) EnableBreakers(policy resilience.BreakerPolicy) *resilience.BreakerSet {
+	set := resilience.NewBreakerSet(policy)
+	r.mu.Lock()
+	r.breakers = set
+	r.mu.Unlock()
+	return set
+}
+
+// Breakers returns the attached breaker set, or nil when disabled.
+func (r *Registry) Breakers() *resilience.BreakerSet {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.breakers
+}
+
+// InvokeCtx is Invoke with cancellation and deadline propagation: the
+// context bounds every attempt (and the backoff between attempts), layered
+// under the registry's per-invocation timeout if one is set.
+func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value.Tuple, at Instant) ([]value.Tuple, error) {
+	r.mu.RLock()
+	p, okP := r.protos[proto]
+	s, okS := r.services[ref]
+	retry := r.retry
+	breakers := r.breakers
+	timeout := r.invokeTimeout
+	r.mu.RUnlock()
+	if !okP {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPrototype, proto)
+	}
+	if !okS {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownService, ref)
+	}
+	if !s.Implements(proto) {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNotImplemented, proto, ref)
+	}
+	in, err := p.Input.Conforms(input)
+	if err != nil {
+		return nil, fmt.Errorf("service: invoke %s on %s: input: %w", proto, ref, err)
+	}
+
+	// Retries are sound only for passive prototypes: an active invocation
+	// is an action, and at-most-once delivery of actions is part of the
+	// algebra's semantics.
+	attempts := 1
+	if !p.Active && retry.MaxAttempts > 1 {
+		attempts = retry.MaxAttempts
+	}
+	var rows []value.Tuple
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := resilience.SleepCtx(ctx, retry.Backoff(attempt-1, proto+"|"+ref)); err != nil {
+				break // the deadline expired during backoff; report the last failure
+			}
+		}
+		if breakers != nil && !breakers.Allow(ref) {
+			return nil, fmt.Errorf("service: invoke %s on %s: %w", proto, ref, resilience.ErrOpen)
+		}
+		rows, lastErr = callService(ctx, s, proto, in, at, timeout)
+		if breakers != nil {
+			breakers.OnResult(ref, lastErr == nil)
+		}
+		if lastErr == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("service: invoke %s on %s: %w", proto, ref, lastErr)
+	}
+
+	out := make([]value.Tuple, len(rows))
+	for i, row := range rows {
+		c, err := p.Output.Conforms(row)
+		if err != nil {
+			return nil, fmt.Errorf("service: invoke %s on %s: output tuple %d: %w", proto, ref, i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// callService runs one physical attempt, bounded by the per-invocation
+// timeout and the caller's context. Context-aware services get the context
+// directly; others run in a goroutine that is abandoned (never joined) if
+// the deadline fires first — its eventual result is discarded.
+func callService(ctx context.Context, s Service, proto string, in value.Tuple, at Instant, timeout time.Duration) ([]value.Tuple, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if cs, ok := s.(CtxService); ok {
+		return cs.InvokeCtx(ctx, proto, in, at)
+	}
+	if ctx.Done() == nil {
+		return s.Invoke(proto, in, at)
+	}
+	type result struct {
+		rows []value.Tuple
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rows, err := s.Invoke(proto, in, at)
+		ch <- result{rows, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.rows, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -10,11 +10,14 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"serena/internal/resilience"
 	"serena/internal/schema"
 	"serena/internal/value"
 )
@@ -110,12 +113,20 @@ type Event struct {
 
 // Registry tracks the prototypes and services of a relational pervasive
 // environment. It is safe for concurrent use.
+//
+// Fault tolerance (see resilient.go): an optional per-invocation timeout,
+// a retry policy applied only to passive prototypes, and per-service
+// circuit breakers whose open state masks the service out of discovery.
 type Registry struct {
 	mu       sync.RWMutex
 	protos   map[string]*schema.Prototype
 	services map[string]Service
 	watchers map[int]chan Event
 	nextW    int
+
+	invokeTimeout time.Duration
+	retry         resilience.RetryPolicy
+	breakers      *resilience.BreakerSet
 }
 
 // NewRegistry returns an empty registry.
@@ -186,10 +197,14 @@ func (r *Registry) Register(s Service) error {
 		}
 	}
 	r.services[s.Ref()] = s
-	ev := Event{Kind: Added, Ref: s.Ref(), Prototypes: s.PrototypeNames()}
-	watchers := r.snapshotWatchers()
+	if r.breakers != nil {
+		// A (re)registered service starts with a clean slate: whatever
+		// failure history its reference accumulated belongs to the departed
+		// instance.
+		r.breakers.Reset(s.Ref())
+	}
+	r.broadcastLocked(Event{Kind: Added, Ref: s.Ref(), Prototypes: s.PrototypeNames()})
 	r.mu.Unlock()
-	broadcast(watchers, ev)
 	return nil
 }
 
@@ -203,10 +218,8 @@ func (r *Registry) Unregister(ref string) error {
 		return fmt.Errorf("%w: %s", ErrUnknownService, ref)
 	}
 	delete(r.services, ref)
-	ev := Event{Kind: Removed, Ref: ref, Prototypes: s.PrototypeNames()}
-	watchers := r.snapshotWatchers()
+	r.broadcastLocked(Event{Kind: Removed, Ref: ref, Prototypes: s.PrototypeNames()})
 	r.mu.Unlock()
-	broadcast(watchers, ev)
 	return nil
 }
 
@@ -235,14 +248,28 @@ func (r *Registry) Refs() []string {
 
 // Implementing returns the sorted references of services implementing the
 // named prototype — the source of the paper's service-discovery relations.
+// Services whose circuit breaker is open are masked out: to the discovery
+// X-Relations a tripped service looks temporarily withdrawn, and it
+// reappears once the breaker cools down to half-open (Section 2.3's dynamic
+// register/withdraw, driven by observed health).
 func (r *Registry) Implementing(proto string) []string {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
+	breakers := r.breakers
 	var out []string
 	for ref, s := range r.services {
 		if s.Implements(proto) {
 			out = append(out, ref)
 		}
+	}
+	r.mu.RUnlock()
+	if breakers != nil {
+		kept := out[:0]
+		for _, ref := range out {
+			if breakers.State(ref) != resilience.Open {
+				kept = append(kept, ref)
+			}
+		}
+		out = kept
 	}
 	sort.Strings(out)
 	return out
@@ -250,38 +277,11 @@ func (r *Registry) Implementing(proto string) []string {
 
 // Invoke implements invoke_ψ (Definition 1): it resolves the reference,
 // checks the prototype declaration, conforms the input tuple to Input_ψ,
-// runs the service and conforms every output tuple to Output_ψ.
+// runs the service and conforms every output tuple to Output_ψ. It applies
+// the registry's fault-tolerance settings (timeout, passive-only retry,
+// breakers); InvokeCtx additionally propagates a caller deadline.
 func (r *Registry) Invoke(proto, ref string, input value.Tuple, at Instant) ([]value.Tuple, error) {
-	r.mu.RLock()
-	p, okP := r.protos[proto]
-	s, okS := r.services[ref]
-	r.mu.RUnlock()
-	if !okP {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownPrototype, proto)
-	}
-	if !okS {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownService, ref)
-	}
-	if !s.Implements(proto) {
-		return nil, fmt.Errorf("%w: %s on %s", ErrNotImplemented, proto, ref)
-	}
-	in, err := p.Input.Conforms(input)
-	if err != nil {
-		return nil, fmt.Errorf("service: invoke %s on %s: input: %w", proto, ref, err)
-	}
-	rows, err := s.Invoke(proto, in, at)
-	if err != nil {
-		return nil, fmt.Errorf("service: invoke %s on %s: %w", proto, ref, err)
-	}
-	out := make([]value.Tuple, len(rows))
-	for i, row := range rows {
-		c, err := p.Output.Conforms(row)
-		if err != nil {
-			return nil, fmt.Errorf("service: invoke %s on %s: output tuple %d: %w", proto, ref, i, err)
-		}
-		out[i] = c
-	}
-	return out, nil
+	return r.InvokeCtx(context.Background(), proto, ref, input, at)
 }
 
 // Watch subscribes to discovery events. The returned cancel function
@@ -307,16 +307,14 @@ func (r *Registry) Watch() (<-chan Event, func()) {
 	return ch, cancel
 }
 
-func (r *Registry) snapshotWatchers() []chan Event {
-	out := make([]chan Event, 0, len(r.watchers))
+// broadcastLocked delivers an event to every watcher while r.mu is held.
+// Sends never block (slow consumers drop their oldest pending event), so
+// holding the lock is cheap — and it is what makes delivery safe against a
+// concurrent Watch cancel, which closes the channel under the same lock.
+// Snapshotting channels and sending unlocked would race a send against
+// that close.
+func (r *Registry) broadcastLocked(ev Event) {
 	for _, ch := range r.watchers {
-		out = append(out, ch)
-	}
-	return out
-}
-
-func broadcast(watchers []chan Event, ev Event) {
-	for _, ch := range watchers {
 		for {
 			select {
 			case ch <- ev:

@@ -13,6 +13,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"serena/internal/resilience"
 	"serena/internal/service"
 	"serena/internal/value"
 )
@@ -260,21 +262,43 @@ func (s *Server) handle(req *Request) *Response {
 
 // Client is a multiplexed connection to a Local ERM node: any number of
 // requests may be in flight concurrently; responses are matched by ID.
+//
+// The connection self-heals: when a round trip finds the connection lost
+// (dial failure, write failure, or the read loop dying mid-request), the
+// client redials with capped exponential backoff and retries, up to a
+// bounded number of attempts. A request that TIMED OUT is never retried —
+// it may have reached the server, and replaying it could duplicate an
+// active invocation's side effect.
 type Client struct {
 	addr    string
 	timeout time.Duration
 
-	mu      sync.Mutex // guards conn/enc/pending/nextID and writes
+	// Reconnection policy (SetReconnect): total attempts per round trip
+	// and the capped backoff between them.
+	attempts    int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	mu     sync.Mutex // guards cur/nextID and writes
+	cur    *clientConn
+	nextID uint64
+	closed bool
+}
+
+// clientConn is one physical connection's state. Keeping the pending map
+// per connection means a dying read loop fails exactly ITS in-flight
+// requests — never the replacement connection's — and a reconnect can
+// never orphan a waiter.
+type clientConn struct {
 	conn    net.Conn
 	enc     *gob.Encoder
 	pending map[uint64]chan *Response
-	nextID  uint64
-	closed  bool
 }
 
-// Dial connects to a node.
+// Dial connects to a node. The timeout bounds the dial, every write, and
+// each round trip's wait for a response.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	c := &Client{addr: addr, timeout: timeout}
+	c := &Client{addr: addr, timeout: timeout, attempts: 3, backoffBase: 5 * time.Millisecond, backoffMax: 250 * time.Millisecond}
 	c.mu.Lock()
 	err := c.connectLocked()
 	c.mu.Unlock()
@@ -284,42 +308,58 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return c, nil
 }
 
+// SetReconnect tunes the round-trip reconnection policy: total attempts
+// (values < 1 disable retrying entirely) and the base/cap of the
+// exponential backoff between them.
+func (c *Client) SetReconnect(attempts int, base, max time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if attempts < 1 {
+		attempts = 1
+	}
+	c.attempts = attempts
+	if base > 0 {
+		c.backoffBase = base
+	}
+	if max > 0 {
+		c.backoffMax = max
+	}
+}
+
 // connectLocked (re)establishes the connection and starts its read loop.
 func (c *Client) connectLocked() error {
 	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 	if err != nil {
 		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.pending = make(map[uint64]chan *Response)
-	go c.readLoop(conn, gob.NewDecoder(conn))
+	cc := &clientConn{conn: conn, enc: gob.NewEncoder(conn), pending: make(map[uint64]chan *Response)}
+	c.cur = cc
+	go c.readLoop(cc, gob.NewDecoder(conn))
 	return nil
 }
 
 // readLoop routes responses to their waiters until the connection dies,
-// then fails everything still pending.
-func (c *Client) readLoop(conn net.Conn, dec *gob.Decoder) {
+// then fails fast everything still pending ON THIS connection.
+func (c *Client) readLoop(cc *clientConn, dec *gob.Decoder) {
 	for {
 		var resp Response
 		if err := dec.Decode(&resp); err != nil {
 			c.mu.Lock()
-			if c.conn == conn {
-				c.conn = nil
-				c.enc = nil
+			if c.cur == cc {
+				c.cur = nil
 			}
-			for id, ch := range c.pending {
+			for id, ch := range cc.pending {
 				close(ch)
-				delete(c.pending, id)
+				delete(cc.pending, id)
 			}
 			c.mu.Unlock()
-			_ = conn.Close()
+			_ = cc.conn.Close()
 			return
 		}
 		c.mu.Lock()
-		ch, ok := c.pending[resp.ID]
+		ch, ok := cc.pending[resp.ID]
 		if ok {
-			delete(c.pending, resp.ID)
+			delete(cc.pending, resp.ID)
 		}
 		c.mu.Unlock()
 		if ok {
@@ -333,10 +373,9 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		c.enc = nil
+	if c.cur != nil {
+		err := c.cur.conn.Close()
+		c.cur = nil
 		return err
 	}
 	return nil
@@ -345,35 +384,85 @@ func (c *Client) Close() error {
 // Addr returns the remote address.
 func (c *Client) Addr() string { return c.addr }
 
-// roundTrip sends one request and waits for its response. A dead
-// connection is re-established for the next caller; the in-flight request
-// itself is not replayed (invocations may have side effects).
+// roundTrip sends one request and waits for its response, transparently
+// redialing a lost connection (see roundTripCtx).
 func (c *Client) roundTrip(req *Request) (*Response, error) {
+	return c.roundTripCtx(context.Background(), req)
+}
+
+// roundTripCtx drives one request to completion under the reconnection
+// policy: connection-level failures (dial, write, read loop death) redial
+// with capped exponential backoff and retry; a timed-out or cancelled
+// request is NOT retried, because it may already have reached the server.
+func (c *Client) roundTripCtx(ctx context.Context, req *Request) (*Response, error) {
 	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, fmt.Errorf("wire: %s: client closed", c.addr)
-	}
-	if c.conn == nil {
-		if err := c.connectLocked(); err != nil {
-			c.mu.Unlock()
+	attempts := c.attempts
+	c.mu.Unlock()
+	backoff := c.backoffBase
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := resilience.SleepCtx(ctx, backoff); err != nil {
+				return nil, fmt.Errorf("wire: %s: %w", c.addr, err)
+			}
+			backoff *= 2
+			if backoff > c.backoffMax {
+				backoff = c.backoffMax
+			}
+		}
+		resp, err, retryable := c.tryRoundTrip(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable {
 			return nil, err
 		}
 	}
+	return nil, lastErr
+}
+
+// tryRoundTrip performs a single send/receive attempt. retryable reports
+// whether the failure is connection-level (safe to redial and resend: the
+// request never reached the server, or the connection died before any
+// response could have been routed to us).
+func (c *Client) tryRoundTrip(ctx context.Context, req *Request) (resp *Response, err error, retryable bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: %s: client closed", c.addr), false
+	}
+	if c.cur == nil {
+		if err := c.connectLocked(); err != nil {
+			c.mu.Unlock()
+			return nil, err, true
+		}
+	}
+	cc := c.cur
 	c.nextID++
 	req.ID = c.nextID
 	ch := make(chan *Response, 1)
-	c.pending[req.ID] = ch
-	err := c.enc.Encode(req)
+	cc.pending[req.ID] = ch
+	if c.timeout > 0 {
+		_ = cc.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+	err = cc.enc.Encode(req)
+	if c.timeout > 0 {
+		_ = cc.conn.SetWriteDeadline(time.Time{})
+	}
 	if err != nil {
-		delete(c.pending, req.ID)
-		if c.conn != nil {
-			_ = c.conn.Close()
-			c.conn = nil
-			c.enc = nil
+		// A failed write poisons the gob stream: drop the connection and
+		// fail fast every request still in flight on it.
+		if c.cur == cc {
+			c.cur = nil
 		}
+		for id, pch := range cc.pending {
+			close(pch)
+			delete(cc.pending, id)
+		}
+		_ = cc.conn.Close()
 		c.mu.Unlock()
-		return nil, fmt.Errorf("wire: %s: %w", c.addr, err)
+		return nil, fmt.Errorf("wire: %s: %w", c.addr, err), true
 	}
 	c.mu.Unlock()
 
@@ -386,14 +475,24 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return nil, fmt.Errorf("wire: %s: connection lost", c.addr)
+			// The connection died before our response was routed back: the
+			// reply can never arrive, so redialing and resending is the
+			// only way forward. (An ACTIVE request may still have executed
+			// server-side before the crash — see "Failure semantics" in
+			// DESIGN.md for the at-most-once discussion.)
+			return nil, fmt.Errorf("wire: %s: connection lost", c.addr), true
 		}
-		return resp, nil
+		return resp, nil, false
 	case <-timeout:
 		c.mu.Lock()
-		delete(c.pending, req.ID)
+		delete(cc.pending, req.ID)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("wire: %s: request timed out after %s", c.addr, c.timeout)
+		return nil, fmt.Errorf("wire: %s: request timed out after %s", c.addr, c.timeout), false
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(cc.pending, req.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: %s: %w", c.addr, ctx.Err()), false
 	}
 }
 
@@ -411,7 +510,13 @@ func (c *Client) Describe() (string, []ServiceInfo, error) {
 
 // Invoke performs a remote invocation.
 func (c *Client) Invoke(proto, ref string, input value.Tuple, at service.Instant) ([]value.Tuple, error) {
-	resp, err := c.roundTrip(&Request{
+	return c.InvokeCtx(context.Background(), proto, ref, input, at)
+}
+
+// InvokeCtx performs a remote invocation bounded by the context: the
+// deadline caps the whole round trip, including reconnection backoff.
+func (c *Client) InvokeCtx(ctx context.Context, proto, ref string, input value.Tuple, at service.Instant) ([]value.Tuple, error) {
+	resp, err := c.roundTripCtx(ctx, &Request{
 		Op: "invoke", Proto: proto, Ref: ref, Input: EncodeTuple(input), At: int64(at),
 	})
 	if err != nil {
@@ -462,4 +567,11 @@ func (r *Remote) Implements(p string) bool { return r.protos[p] }
 // Invoke implements service.Service by a wire round trip.
 func (r *Remote) Invoke(proto string, input value.Tuple, at service.Instant) ([]value.Tuple, error) {
 	return r.client.Invoke(proto, r.ref, input, at)
+}
+
+// InvokeCtx implements service.CtxService: the registry's per-invocation
+// deadline propagates all the way into the wire round trip instead of
+// being enforced by goroutine abandonment.
+func (r *Remote) InvokeCtx(ctx context.Context, proto string, input value.Tuple, at service.Instant) ([]value.Tuple, error) {
+	return r.client.InvokeCtx(ctx, proto, r.ref, input, at)
 }

@@ -1,6 +1,8 @@
 package wire_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -337,6 +339,139 @@ func TestClientTimeout(t *testing.T) {
 	}
 	if time.Since(start) > time.Second {
 		t.Fatal("timeout too slow")
+	}
+}
+
+func TestInFlightRequestsFailFastOnConnectionDrop(t *testing.T) {
+	// A request stuck behind a dead connection must not hang until the
+	// timeout: the read loop's death fails it immediately (and the retry
+	// loop then gives up quickly because the listener is gone too).
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	if err := reg.Register(service.NewFunc("slow", map[string]service.InvokeFunc{
+		"getTemperature": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+			<-block
+			return []value.Tuple{{value.NewReal(20)}}, nil
+		},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer("n", reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := wire.Dial(addr, 10*time.Second) // timeout far beyond the test budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReconnect(2, time.Millisecond, time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Invoke("getTemperature", "slow", nil, 0)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the server
+	close(block)
+	_ = srv.Close() // drop the connection under the in-flight request
+	select {
+	case err := <-done:
+		if err == nil {
+			// The response raced the close and won — also fine.
+			return
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("in-flight request hung after connection drop")
+	}
+}
+
+func TestInvokeCtxDeadline(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(service.NewFunc("hang", map[string]service.InvokeFunc{
+		"getTemperature": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+			time.Sleep(2 * time.Second)
+			return nil, nil
+		},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer("n", reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := wire.Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.InvokeCtx(ctx, "getTemperature", "hang", nil, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("context deadline not enforced promptly")
+	}
+}
+
+func TestRemoteProxyHonorsRegistryTimeout(t *testing.T) {
+	// The registry's per-invocation timeout must flow through the Remote
+	// proxy into the wire round trip (service.CtxService).
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(service.NewFunc("hang", map[string]service.InvokeFunc{
+		"getTemperature": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+			time.Sleep(2 * time.Second)
+			return nil, nil
+		},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer("n", reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := wire.Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, infos, err := c.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	central := service.NewRegistry()
+	if err := central.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if err := central.Register(wire.NewRemote(c, info)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	central.SetInvokeTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, err = central.Invoke("getTemperature", "hang", nil, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("registry timeout not enforced over the wire")
 	}
 }
 
