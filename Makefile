@@ -22,9 +22,10 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# Full benchmark suite (writes nothing; tee yourself to record).
+# Full benchmark suite → machine-readable BENCH_<date>.json at the repo
+# root (BENCHTIME=10x for a quick pass; see scripts/bench.sh).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	sh scripts/bench.sh
 
 # Regenerate the EXPERIMENTS.md tables.
 experiments:

@@ -1,0 +1,163 @@
+// Command benchfmt converts `go test -bench -benchmem` output into a
+// machine-readable JSON report, the interchange format of the repository's
+// benchmark pipeline (scripts/bench.sh writes BENCH_<date>.json at the repo
+// root; CI archives it per commit).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchfmt -o BENCH_2026-08-05.json
+//
+// benchfmt exits non-zero when the input contains no benchmark results or a
+// failed benchmark, so pipelines cannot silently archive empty reports.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`              // e.g. "BenchmarkInvoke/n=100"
+	Package     string  `json:"package,omitempty"` // import path from the pkg: header
+	Procs       int     `json:"procs,omitempty"`   // GOMAXPROCS suffix (-8)
+	Runs        int64   `json:"runs"`              // iteration count (b.N)
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Generated  string      `json:"generated,omitempty"` // RFC 3339 UTC
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	GoVersion  string      `json:"go_version,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Failed     []string    `json:"failed,omitempty"` // packages with FAIL lines
+}
+
+// benchLine matches one result row:
+//
+//	BenchmarkInvoke/n=100-8   9637   121445 ns/op   52528 B/op   1155 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+var (
+	mbLine     = regexp.MustCompile(`([0-9.]+) MB/s`)
+	bytesLine  = regexp.MustCompile(`(\d+) B/op`)
+	allocsLine = regexp.MustCompile(`(\d+) allocs/op`)
+)
+
+// Parse reads `go test -bench` output and collects the report skeleton
+// (everything but the Generated stamp).
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL"):
+			f := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(line, "--- FAIL:"), "FAIL"))
+			if i := strings.IndexByte(f, ' '); i > 0 {
+				f = f[:i]
+			}
+			if f == "" {
+				f = pkg
+			}
+			rep.Failed = append(rep.Failed, f)
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			b := Benchmark{Name: m[1], Package: pkg}
+			if m[2] != "" {
+				b.Procs, _ = strconv.Atoi(m[2])
+			}
+			var err error
+			if b.Runs, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("benchfmt: bad iteration count in %q", line)
+			}
+			if b.NsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("benchfmt: bad ns/op in %q", line)
+			}
+			rest := m[5]
+			if mm := mbLine.FindStringSubmatch(rest); mm != nil {
+				b.MBPerSec, _ = strconv.ParseFloat(mm[1], 64)
+			}
+			if mm := bytesLine.FindStringSubmatch(rest); mm != nil {
+				b.BytesPerOp, _ = strconv.ParseInt(mm[1], 10, 64)
+			}
+			if mm := allocsLine.FindStringSubmatch(rest); mm != nil {
+				b.AllocsPerOp, _ = strconv.ParseInt(mm[1], 10, 64)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	goVersion := flag.String("go", "", "go version string to record (default: this binary's)")
+	flag.Parse()
+
+	rep, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfmt: no benchmark results in input")
+		os.Exit(1)
+	}
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	if *goVersion != "" {
+		rep.GoVersion = *goVersion
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchfmt: %d benchmark failure(s): %s\n",
+			len(rep.Failed), strings.Join(rep.Failed, ", "))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: serena/internal/service
+cpu: AMD EPYC 7B13
+BenchmarkInvoke/n=10-8         	   79864	     14842 ns/op	    5392 B/op	     150 allocs/op
+BenchmarkInvoke/n=100-8        	    9637	    121445 ns/op	   52528 B/op	    1155 allocs/op
+PASS
+ok  	serena/internal/service	2.901s
+pkg: serena/internal/wire
+BenchmarkRoundTrip-8           	   12000	     95000 ns/op	  210.52 MB/s	    1024 B/op	      12 allocs/op
+PASS
+ok  	serena/internal/wire	1.100s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header = %q/%q/%q", rep.GoOS, rep.GoArch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "BenchmarkInvoke/n=100" || b.Package != "serena/internal/service" {
+		t.Fatalf("bench[1] = %+v", b)
+	}
+	if b.Procs != 8 || b.Runs != 9637 || b.NsPerOp != 121445 || b.BytesPerOp != 52528 || b.AllocsPerOp != 1155 {
+		t.Fatalf("bench[1] numbers = %+v", b)
+	}
+	w := rep.Benchmarks[2]
+	if w.Package != "serena/internal/wire" || w.MBPerSec != 210.52 {
+		t.Fatalf("bench[2] = %+v", w)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("Failed = %v", rep.Failed)
+	}
+}
+
+func TestParseRecordsFailures(t *testing.T) {
+	in := sample + "--- FAIL: BenchmarkBroken\nFAIL\nFAIL\tserena/internal/cq\t0.1s\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) == 0 {
+		t.Fatal("failure lines not recorded")
+	}
+	found := false
+	for _, f := range rep.Failed {
+		if f == "BenchmarkBroken" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Failed = %v, want BenchmarkBroken", rep.Failed)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok  \tserena/internal/obs\t0.01s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %v", rep.Benchmarks)
+	}
+}

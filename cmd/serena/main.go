@@ -22,6 +22,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -31,6 +32,7 @@ import (
 
 	"serena/internal/cq"
 	"serena/internal/device"
+	"serena/internal/obs"
 	"serena/internal/pems"
 	"serena/internal/query"
 	"serena/internal/resilience"
@@ -49,10 +51,20 @@ func main() {
 	breakers := flag.Bool("breakers", false, "enable per-service circuit breakers")
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive failures before a breaker opens")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-state cooldown before a half-open probe")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/serena on this address (e.g. 127.0.0.1:8077)")
 	flag.Parse()
 
 	p := pems.New()
 	defer p.Close()
+	p.SetExplainOutput(os.Stdout)
+
+	if *metricsAddr != "" {
+		bound, err := p.ServeMetrics(*metricsAddr)
+		if err != nil {
+			log.Fatalf("serena: metrics: %v", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics (debug: /debug/serena)\n", bound)
+	}
 
 	if *invokeTimeout > 0 {
 		p.SetInvocationTimeout(*invokeTimeout)
@@ -102,7 +114,7 @@ func main() {
 		fmt.Printf("executed %s\n", *script)
 	}
 
-	repl(p)
+	repl(p, os.Stdin, os.Stdout)
 }
 
 // attach dials a pemsd node and registers its services centrally (manual
@@ -216,16 +228,16 @@ func looksLikeDDL(line string) bool {
 	return false
 }
 
-func repl(p *pems.PEMS) {
-	in := bufio.NewScanner(os.Stdin)
+func repl(p *pems.PEMS, r io.Reader, out io.Writer) {
+	in := bufio.NewScanner(r)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("serena shell — .help for commands, .quit to exit")
+	fmt.Fprintln(out, "serena shell — .help for commands, .quit to exit")
 	var pending strings.Builder
 	prompt := func() {
 		if pending.Len() > 0 {
-			fmt.Print("   ...> ")
+			fmt.Fprint(out, "   ...> ")
 		} else {
-			fmt.Printf("serena[%d]> ", p.Now())
+			fmt.Fprintf(out, "serena[%d]> ", p.Now())
 		}
 	}
 	prompt()
@@ -236,7 +248,7 @@ func repl(p *pems.PEMS) {
 			continue
 		}
 		if pending.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), ".") {
-			if !command(p, strings.TrimSpace(line)) {
+			if !command(p, strings.TrimSpace(line), out) {
 				return
 			}
 			prompt()
@@ -251,36 +263,72 @@ func repl(p *pems.PEMS) {
 			if strings.Contains(text, ";") {
 				pending.Reset()
 				if err := p.ExecuteDDL(text); err != nil {
-					fmt.Println("error:", err)
+					fmt.Fprintln(out, "error:", err)
 				} else {
-					fmt.Println("ok")
+					fmt.Fprintln(out, "ok")
 				}
 			}
 			prompt()
 			continue
 		}
 		pending.Reset()
-		trimmed := strings.TrimSpace(text)
-		if pems.LooksLikeSQL(trimmed) {
-			runSQL(p, trimmed)
-		} else {
-			runOneShot(p, trimmed)
-		}
+		runQuery(p, strings.TrimSpace(text), out)
 		prompt()
 	}
 }
 
+// runQuery dispatches a query line: an optional EXPLAIN [ANALYZE] prefix,
+// then Serena SQL or SAL by shape.
+func runQuery(p *pems.PEMS, src string, out io.Writer) {
+	body, explain, analyze := pems.StripExplain(src)
+	switch {
+	case analyze:
+		rep, err := p.ExplainAnalyze(body)
+		if err != nil {
+			if rep != nil && rep.Plan != "" {
+				fmt.Fprint(out, rep.Plan)
+			}
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		fmt.Fprint(out, rep.Plan)
+		printResult(rep.Result, out)
+	case explain:
+		ex, err := p.Explain(body)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		printExplanation(ex, out)
+	case pems.LooksLikeSQL(body):
+		runSQL(p, body, out)
+	default:
+		runOneShot(p, body, out)
+	}
+}
+
+func printExplanation(ex *pems.Explanation, out io.Writer) {
+	fmt.Fprintln(out, "original: ", ex.Original)
+	for _, st := range ex.Steps {
+		fmt.Fprintf(out, "  %-28s → %s\n", st.Rule, st.Result)
+	}
+	fmt.Fprintln(out, "optimized:", ex.Optimized)
+	fmt.Fprintf(out, "estimated cost: %.0f → %.0f\n", ex.CostBefore, ex.CostAfter)
+}
+
 // command executes a dot-command; it returns false on .quit.
-func command(p *pems.PEMS, line string) bool {
+func command(p *pems.PEMS, line string, out io.Writer) bool {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case ".quit", ".exit":
 		return false
 	case ".help":
-		fmt.Print(`commands:
+		fmt.Fprint(out, `commands:
   <DDL statement>;                 execute Serena DDL
   <SAL expression>                 evaluate a one-shot algebra query
   SELECT ...                       evaluate a one-shot Serena SQL query
+  EXPLAIN <query>                  show the optimized plan and rewrite steps
+  EXPLAIN ANALYZE <query>          run the query, show per-operator trace
   .register <name> <SAL>          register a continuous query (optimized)
   .unregister <name>              remove a continuous query
   .tick [n]                       advance the clock n instants (default 1)
@@ -293,6 +341,8 @@ func command(p *pems.PEMS, line string) bool {
   .errors <name>                  show a query's recorded invocation failures
   .breakers                       show circuit-breaker states (-breakers)
   .explain <query>                show the optimized plan and rewrite steps
+  .stats [query]                  show continuous-query invocation statistics
+  .metrics                        dump the process-wide metrics registry
   .dump                           print the environment as re-executable DDL
   .quit
 `)
@@ -305,14 +355,14 @@ func command(p *pems.PEMS, line string) bool {
 		}
 		for i := 0; i < n; i++ {
 			if _, err := p.Tick(); err != nil {
-				fmt.Println("error:", err)
+				fmt.Fprintln(out, "error:", err)
 				break
 			}
 		}
-		fmt.Printf("clock at instant %d\n", p.Now())
+		fmt.Fprintf(out, "clock at instant %d\n", p.Now())
 	case ".register":
 		if len(fields) < 3 {
-			fmt.Println("usage: .register <name> <SAL>")
+			fmt.Fprintln(out, "usage: .register <name> <SAL>")
 			break
 		}
 		name := fields[1]
@@ -325,23 +375,23 @@ func command(p *pems.PEMS, line string) bool {
 			q, err = p.RegisterQuery(name, src, true)
 		}
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 			break
 		}
-		fmt.Printf("registered %q: %s\n", name, q.Plan())
+		fmt.Fprintf(out, "registered %q: %s\n", name, q.Plan())
 	case ".unregister":
 		if len(fields) != 2 {
-			fmt.Println("usage: .unregister <name>")
+			fmt.Fprintln(out, "usage: .unregister <name>")
 			break
 		}
 		if err := p.UnregisterQuery(fields[1]); err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 		} else {
-			fmt.Println("ok")
+			fmt.Fprintln(out, "ok")
 		}
 	case ".show":
 		if len(fields) != 2 {
-			fmt.Println("usage: .show <relation>")
+			fmt.Fprintln(out, "usage: .show <relation>")
 			break
 		}
 		at := p.Now()
@@ -350,64 +400,64 @@ func command(p *pems.PEMS, line string) bool {
 		}
 		rel, err := p.Env(at).Relation(fields[1])
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 			break
 		}
-		fmt.Print(rel.Table())
-		fmt.Printf("(%d tuple(s))\n", rel.Len())
+		fmt.Fprint(out, rel.Table())
+		fmt.Fprintf(out, "(%d tuple(s))\n", rel.Len())
 	case ".parallel":
 		if len(fields) != 2 {
-			fmt.Println("usage: .parallel <n>")
+			fmt.Fprintln(out, "usage: .parallel <n>")
 			break
 		}
 		n, err := strconv.Atoi(fields[1])
 		if err != nil || n < 1 {
-			fmt.Println("usage: .parallel <n>  (n >= 1)")
+			fmt.Fprintln(out, "usage: .parallel <n>  (n >= 1)")
 			break
 		}
 		p.SetInvocationParallelism(n)
-		fmt.Printf("invocation parallelism set to %d\n", n)
+		fmt.Fprintf(out, "invocation parallelism set to %d\n", n)
 	case ".onerror":
 		if len(fields) != 3 {
-			fmt.Println("usage: .onerror <query> FAIL|SKIP|NULL")
+			fmt.Fprintln(out, "usage: .onerror <query> FAIL|SKIP|NULL")
 			break
 		}
 		policy, err := resilience.ParsePolicy(fields[2])
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 			break
 		}
 		if err := p.SetQueryDegradation(fields[1], policy); err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 			break
 		}
-		fmt.Printf("query %q now degrades with %s\n", fields[1], policy)
+		fmt.Fprintf(out, "query %q now degrades with %s\n", fields[1], policy)
 	case ".errors":
 		if len(fields) != 2 {
-			fmt.Println("usage: .errors <query>")
+			fmt.Fprintln(out, "usage: .errors <query>")
 			break
 		}
 		q, ok := p.Executor().Query(fields[1])
 		if !ok {
-			fmt.Println("error: unknown query", fields[1])
+			fmt.Fprintln(out, "error: unknown query", fields[1])
 			break
 		}
 		errs := q.InvokeErrors()
 		if len(errs) == 0 {
-			fmt.Println("no invocation failures recorded")
+			fmt.Fprintln(out, "no invocation failures recorded")
 			break
 		}
 		for _, e := range errs {
-			fmt.Printf("  %s\n", e.Error())
+			fmt.Fprintf(out, "  %s\n", e.Error())
 		}
 	case ".breakers":
 		states := p.BreakerStates()
 		if states == nil {
-			fmt.Println("circuit breakers not enabled (start with -breakers)")
+			fmt.Fprintln(out, "circuit breakers not enabled (start with -breakers)")
 			break
 		}
 		if len(states) == 0 {
-			fmt.Println("no services tracked yet (breakers track failures lazily)")
+			fmt.Fprintln(out, "no services tracked yet (breakers track failures lazily)")
 			break
 		}
 		refs := make([]string, 0, len(states))
@@ -416,42 +466,73 @@ func command(p *pems.PEMS, line string) bool {
 		}
 		sort.Strings(refs)
 		for _, ref := range refs {
-			fmt.Printf("  %-16s %s\n", ref, states[ref])
+			fmt.Fprintf(out, "  %-16s %s\n", ref, states[ref])
 		}
 	case ".explain":
 		src := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
 		if src == "" {
-			fmt.Println("usage: .explain <SAL or SELECT query>")
+			fmt.Fprintln(out, "usage: .explain <SAL or SELECT query>")
 			break
 		}
 		ex, err := p.Explain(src)
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 			break
 		}
-		fmt.Println("original: ", ex.Original)
-		for _, st := range ex.Steps {
-			fmt.Printf("  %-28s → %s\n", st.Rule, st.Result)
+		printExplanation(ex, out)
+	case ".stats":
+		names := p.Executor().QueryNames()
+		if len(fields) > 1 {
+			names = fields[1:]
 		}
-		fmt.Println("optimized:", ex.Optimized)
-		fmt.Printf("estimated cost: %.0f → %.0f\n", ex.CostBefore, ex.CostAfter)
+		if len(names) == 0 {
+			fmt.Fprintln(out, "no continuous queries registered")
+			break
+		}
+		for _, name := range names {
+			q, ok := p.Executor().Query(name)
+			if !ok {
+				fmt.Fprintln(out, "error: unknown query", name)
+				continue
+			}
+			st := q.Stats()
+			fmt.Fprintf(out, "%s: %s\n", name, q.Plan())
+			fmt.Fprintf(out, "  invocations: %d passive, %d memoized, %d active; %d failure(s)\n",
+				st.Passive, st.Memoized, st.Active, len(q.InvokeErrors()))
+			fmt.Fprintf(out, "  on error: %s\n", q.Degradation())
+			if last := q.LastResult(); last != nil {
+				fmt.Fprintf(out, "  last result: %d tuple(s)\n", last.Len())
+			}
+			if acts := q.Actions(); acts != nil && acts.Len() > 0 {
+				fmt.Fprintf(out, "  action set: %s\n", acts)
+			}
+		}
+	case ".metrics":
+		fmt.Fprint(out, obs.Default.Snapshot().Render())
 	case ".dump":
-		fmt.Print(p.Catalog().Dump())
+		fmt.Fprint(out, p.Catalog().Dump())
 	case ".schema":
 		if len(fields) != 2 {
-			fmt.Println("usage: .schema <relation>")
+			fmt.Fprintln(out, "usage: .schema <relation>")
 			break
 		}
 		x, ok := p.Executor().Relation(fields[1])
 		if !ok {
-			fmt.Println("error: unknown relation", fields[1])
+			fmt.Fprintln(out, "error: unknown relation", fields[1])
 			break
 		}
-		fmt.Println(x.Schema().String())
+		fmt.Fprintln(out, x.Schema().String())
 	case ".queries":
-		// The executor does not expose a listing API directly; print what
-		// we know through the catalog-level bookkeeping instead.
-		fmt.Println("(registered continuous queries run on every .tick)")
+		names := p.Executor().QueryNames()
+		if len(names) == 0 {
+			fmt.Fprintln(out, "no continuous queries registered")
+			break
+		}
+		for _, name := range names {
+			if q, ok := p.Executor().Query(name); ok {
+				fmt.Fprintf(out, "  %-16s %s\n", name, q.Plan())
+			}
+		}
 	case ".services":
 		reg := p.Registry()
 		for _, ref := range reg.Refs() {
@@ -459,37 +540,37 @@ func command(p *pems.PEMS, line string) bool {
 			if err != nil {
 				continue
 			}
-			fmt.Printf("  %-16s %s\n", ref, strings.Join(svc.PrototypeNames(), ", "))
+			fmt.Fprintf(out, "  %-16s %s\n", ref, strings.Join(svc.PrototypeNames(), ", "))
 		}
 	default:
-		fmt.Println("unknown command; .help for help")
+		fmt.Fprintln(out, "unknown command; .help for help")
 	}
 	return true
 }
 
-func runSQL(p *pems.PEMS, src string) {
+func runSQL(p *pems.PEMS, src string, out io.Writer) {
 	res, err := p.OneShotSQL(strings.TrimSuffix(strings.TrimSpace(src), ";"))
 	if err != nil {
-		fmt.Println("error:", err)
+		fmt.Fprintln(out, "error:", err)
 		return
 	}
-	printResult(res)
+	printResult(res, out)
 }
 
-func runOneShot(p *pems.PEMS, src string) {
+func runOneShot(p *pems.PEMS, src string, out io.Writer) {
 	res, err := p.OneShot(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), ";")))
 	if err != nil {
-		fmt.Println("error:", err)
+		fmt.Fprintln(out, "error:", err)
 		return
 	}
-	printResult(res)
+	printResult(res, out)
 }
 
-func printResult(res *query.Result) {
-	fmt.Print(res.Relation.Table())
-	fmt.Printf("(%d tuple(s); %d passive, %d memoized, %d active invocation(s))\n",
+func printResult(res *query.Result, out io.Writer) {
+	fmt.Fprint(out, res.Relation.Table())
+	fmt.Fprintf(out, "(%d tuple(s); %d passive, %d memoized, %d active invocation(s))\n",
 		res.Relation.Len(), res.Stats.Passive, res.Stats.Memoized, res.Stats.Active)
 	if res.Actions.Len() > 0 {
-		fmt.Println("action set:", res.Actions)
+		fmt.Fprintln(out, "action set:", res.Actions)
 	}
 }

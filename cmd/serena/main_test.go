@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -95,39 +96,45 @@ func TestCommandDispatch(t *testing.T) {
 		{".unregister ghost", "error:"},
 		{".unregister", "usage:"},
 		{".bogus", "unknown command"},
-		{".queries", "tick"},
+		{".queries", "no continuous queries"},
+		{".stats", "no continuous queries"},
+		{".metrics", "query.invoke.passive"},
 	}
 	for _, c := range cases {
-		out := captureOutput(t, func() {
-			if !command(p, c.line) {
-				t.Errorf("%s: unexpected quit", c.line)
-			}
-		})
-		if !strings.Contains(out, c.want) {
-			t.Errorf("%s: output %q missing %q", c.line, out, c.want)
+		var buf bytes.Buffer
+		if !command(p, c.line, &buf) {
+			t.Errorf("%s: unexpected quit", c.line)
+		}
+		if !strings.Contains(buf.String(), c.want) {
+			t.Errorf("%s: output %q missing %q", c.line, buf.String(), c.want)
 		}
 	}
 	// .quit returns false.
-	if command(p, ".quit") {
+	if command(p, ".quit", io.Discard) {
 		t.Error(".quit should stop the loop")
 	}
 }
 
 func TestRunOneShotAndSQL(t *testing.T) {
 	p := demoPEMS(t)
-	out := captureOutput(t, func() { runOneShot(p, `project[name](contacts)`) })
+	render := func(f func(out io.Writer)) string {
+		var buf bytes.Buffer
+		f(&buf)
+		return buf.String()
+	}
+	out := render(func(w io.Writer) { runOneShot(p, `project[name](contacts)`, w) })
 	if !strings.Contains(out, "Carla") || !strings.Contains(out, "3 tuple(s)") {
 		t.Fatalf("one-shot output = %q", out)
 	}
-	out = captureOutput(t, func() { runSQL(p, `SELECT name FROM contacts WHERE name = "Carla"`) })
+	out = render(func(w io.Writer) { runSQL(p, `SELECT name FROM contacts WHERE name = "Carla"`, w) })
 	if !strings.Contains(out, "Carla") || !strings.Contains(out, "1 tuple(s)") {
 		t.Fatalf("SQL output = %q", out)
 	}
-	out = captureOutput(t, func() { runOneShot(p, `select[`) })
+	out = render(func(w io.Writer) { runOneShot(p, `select[`, w) })
 	if !strings.Contains(out, "error:") {
 		t.Fatalf("parse error not reported: %q", out)
 	}
-	out = captureOutput(t, func() { runSQL(p, `SELECT ghost FROM contacts`) })
+	out = render(func(w io.Writer) { runSQL(p, `SELECT ghost FROM contacts`, w) })
 	if !strings.Contains(out, "error:") {
 		t.Fatalf("SQL error not reported: %q", out)
 	}
@@ -176,14 +183,16 @@ func newTestNode(t *testing.T) string {
 
 func TestParallelCommand(t *testing.T) {
 	p := demoPEMS(t)
-	out := captureOutput(t, func() { command(p, ".parallel 8") })
-	if !strings.Contains(out, "parallelism set to 8") {
-		t.Fatalf("output = %q", out)
+	var buf bytes.Buffer
+	command(p, ".parallel 8", &buf)
+	if !strings.Contains(buf.String(), "parallelism set to 8") {
+		t.Fatalf("output = %q", buf.String())
 	}
 	for _, bad := range []string{".parallel", ".parallel x", ".parallel 0"} {
-		out := captureOutput(t, func() { command(p, bad) })
-		if !strings.Contains(out, "usage:") {
-			t.Fatalf("%s: output = %q", bad, out)
+		buf.Reset()
+		command(p, bad, &buf)
+		if !strings.Contains(buf.String(), "usage:") {
+			t.Fatalf("%s: output = %q", bad, buf.String())
 		}
 	}
 }

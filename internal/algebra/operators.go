@@ -5,8 +5,24 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"serena/internal/obs"
 	"serena/internal/schema"
 	"serena/internal/value"
+)
+
+// Operator cardinality metrics, recorded once per operator evaluation (not
+// per tuple) so always-on instrumentation stays off the per-row path.
+var (
+	obsSelectCalls = obs.Default.Counter("algebra.select.calls")
+	obsSelectIn    = obs.Default.Counter("algebra.select.rows_in")
+	obsSelectOut   = obs.Default.Counter("algebra.select.rows_out")
+	obsJoinCalls   = obs.Default.Counter("algebra.join.calls")
+	obsJoinIn      = obs.Default.Counter("algebra.join.rows_in")
+	obsJoinOut     = obs.Default.Counter("algebra.join.rows_out")
+	obsAssignCalls = obs.Default.Counter("algebra.assign.calls")
+	obsAssignRows  = obs.Default.Counter("algebra.assign.rows")
+	obsInvokeOps   = obs.Default.Counter("algebra.invoke.calls")
+	obsInvokeJobs  = obs.Default.Counter("algebra.invoke.jobs")
 )
 
 // Invoker abstracts the invocation of a binding pattern on a service for
@@ -115,6 +131,9 @@ func Select(r *XRelation, f Formula) (*XRelation, error) {
 			out.add(t)
 		}
 	}
+	obsSelectCalls.Inc()
+	obsSelectIn.Add(int64(r.Len()))
+	obsSelectOut.Add(int64(out.Len()))
 	return out, nil
 }
 
@@ -188,6 +207,9 @@ func NaturalJoin(r1, r2 *XRelation) (*XRelation, error) {
 			out.add(nt)
 		}
 	}
+	obsJoinCalls.Inc()
+	obsJoinIn.Add(int64(r1.Len() + r2.Len()))
+	obsJoinOut.Add(int64(out.Len()))
 	return out, nil
 }
 
@@ -232,6 +254,8 @@ func AssignAttr(r *XRelation, attr, src string) (*XRelation, error) {
 // realize rebuilds tuples for a schema where exactly the named attributes
 // changed from virtual to real, pulling new coordinates from gen.
 func realize(r *XRelation, outSch *schema.Extended, gen func(value.Tuple) value.Value, attr string) *XRelation {
+	obsAssignCalls.Inc()
+	obsAssignRows.Add(int64(r.Len()))
 	plan := buildRealizePlan(r.Schema(), outSch)
 	out := Empty(outSch)
 	for _, t := range r.Tuples() {
@@ -314,6 +338,8 @@ func Invoke(r *XRelation, bp schema.BindingPattern, inv Invoker) (*XRelation, er
 		}
 		jobs = append(jobs, job{tuple: t, ref: ref, input: t.Project(inIdx)})
 	}
+	obsInvokeOps.Inc()
+	obsInvokeJobs.Add(int64(len(jobs)))
 
 	results := make([][]value.Tuple, len(jobs))
 	workers := 1

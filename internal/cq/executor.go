@@ -12,14 +12,28 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"serena/internal/algebra"
+	"serena/internal/obs"
 	"serena/internal/query"
 	"serena/internal/resilience"
 	"serena/internal/schema"
 	"serena/internal/service"
 	"serena/internal/stream"
 	"serena/internal/value"
+)
+
+// Continuous-execution metrics: tick latency, Section 4.2 delta-cache
+// effectiveness, and per-stream instant lag (clock instant minus the last
+// instant with events — how stale each stream is).
+var (
+	obsTickLatency   = obs.Default.Histogram("cq.tick.latency")
+	obsTicks         = obs.Default.Counter("cq.ticks")
+	obsDeltaHits     = obs.Default.Counter("cq.delta_cache.hits")
+	obsDeltaMisses   = obs.Default.Counter("cq.delta_cache.misses")
+	obsQueryEvals    = obs.Default.Counter("cq.query.evals")
+	obsQueryEvalTime = obs.Default.Histogram("cq.query.eval_latency")
 )
 
 // Executor owns a set of dynamic relations and registered continuous
@@ -257,6 +271,26 @@ func (e *Executor) Query(name string) (*Query, bool) {
 	return q, ok
 }
 
+// QueryNames lists the registered continuous queries in registration order.
+func (e *Executor) QueryNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.order...)
+}
+
+// RelationNames lists every relation the executor knows about (catalog
+// tables, streams, and derived continuous-query outputs), sorted.
+func (e *Executor) RelationNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.rels))
+	for name := range e.rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Unregister stops and removes a continuous query.
 func (e *Executor) Unregister(name string) error {
 	e.mu.Lock()
@@ -343,6 +377,7 @@ func (e *Executor) checkStreamsWindowed(n query.Node, directlyUnderWindow bool) 
 func (e *Executor) Tick() (service.Instant, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	start := time.Now()
 	e.now++
 	at := e.now
 	for _, src := range e.sources {
@@ -356,7 +391,26 @@ func (e *Executor) Tick() (service.Instant, error) {
 		}
 	}
 	e.trimStreams(at)
+	e.recordLag(at)
+	obsTicks.Inc()
+	obsTickLatency.Observe(time.Since(start))
 	return at, nil
+}
+
+// recordLag publishes, per infinite XD-Relation, how many instants behind
+// the clock its newest event is (0 = produced this instant).
+func (e *Executor) recordLag(at service.Instant) {
+	for name, x := range e.rels {
+		if !x.Infinite() {
+			continue
+		}
+		last := x.LastInstant()
+		lag := int64(at - last)
+		if last < 0 {
+			lag = int64(at) + 1 // never produced anything
+		}
+		obs.Default.Gauge(obs.Key("cq.stream.lag", name)).Set(lag)
+	}
 }
 
 // RunUntil ticks until (and including) the given instant.
@@ -386,7 +440,11 @@ func (e *Executor) evalQuery(q *Query, at service.Instant) error {
 		q.recordInvokeError(query.InvokeError{BP: bp.ID(), Ref: ref, Input: input.Clone(), Err: err})
 		return nil
 	}
+	evalStart := time.Now()
 	res, err := ev.eval(q.plan)
+	ctx.PublishObsStats()
+	obsQueryEvals.Inc()
+	obsQueryEvalTime.Observe(time.Since(evalStart))
 	if err != nil {
 		return err
 	}
@@ -652,13 +710,16 @@ func (d *deltaInvoker) Invoke(bp schema.BindingPattern, ref string, input value.
 	if rows, ok := d.cache[key]; ok {
 		d.next[key] = rows
 		d.mu.Unlock()
+		obsDeltaHits.Inc()
 		return rows, nil
 	}
 	if rows, ok := d.next[key]; ok {
 		d.mu.Unlock()
+		obsDeltaHits.Inc()
 		return rows, nil
 	}
 	d.mu.Unlock()
+	obsDeltaMisses.Inc()
 	skipped := new(bool)
 	rows, err := d.ev.ctx.InvokeTracked(bp, ref, input, skipped)
 	if err != nil {

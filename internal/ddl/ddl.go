@@ -131,6 +131,22 @@ type UnregisterQuery struct{ Name string }
 
 func (*UnregisterQuery) stmt() {}
 
+// Explain requests a query plan instead of query results:
+//
+//	EXPLAIN SELECT photo FROM cameras USING checkPhoto WHERE quality >= 5;
+//	EXPLAIN ANALYZE invoke[getTemperature](sensors);
+//
+// Plain EXPLAIN shows the optimizer's rewriting (original plan, applied
+// Table 5 steps, optimized plan); EXPLAIN ANALYZE executes the plan in
+// traced mode and annotates every operator with rows and wall time. The
+// body (SAL or Serena SQL) is captured up to the terminating ';'.
+type Explain struct {
+	Source  string
+	Analyze bool
+}
+
+func (*Explain) stmt() {}
+
 // Parse parses a script of semicolon-terminated statements.
 func Parse(src string) ([]Statement, error) {
 	p := &parser{lx: lexer.New(src)}
@@ -228,8 +244,32 @@ func (p *parser) statement() (Statement, error) {
 		return p.registerQuery()
 	case tok.IsKeyword("UNREGISTER"):
 		return p.unregisterQuery()
+	case tok.IsKeyword("EXPLAIN"):
+		return p.explain()
 	}
 	return nil, p.errf(tok, "unknown statement starting with %s", tok)
+}
+
+// explain := EXPLAIN [ANALYZE] <tokens until ';'>
+func (p *parser) explain() (Statement, error) {
+	st := &Explain{}
+	tok, err := p.lx.Peek()
+	if err != nil {
+		return nil, err
+	}
+	if tok.IsKeyword("ANALYZE") {
+		_, _ = p.next()
+		st.Analyze = true
+	}
+	src, err := p.rawUntilSemicolon()
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(src) == "" {
+		return nil, fmt.Errorf("ddl: EXPLAIN: empty query body")
+	}
+	st.Source = src
+	return st, nil
 }
 
 // registerQuery := QUERY name [ON ERROR (FAIL|SKIP|NULL)] AS <tokens until ';'>

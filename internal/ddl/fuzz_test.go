@@ -18,7 +18,20 @@ func FuzzParse(f *testing.F) {
 		`DELETE FROM r VALUES (1);`,
 		`DROP RELATION r;`,
 		`REGISTER QUERY q AS select[a = 1](r);`,
+		`REGISTER QUERY q ON ERROR SKIP AS invoke[p](r);`,
+		`REGISTER QUERY q ON ERROR NULL
+		 AS SELECT location, mean(temperature) AS avg FROM temperatures[5] GROUP BY location;`,
+		`REGISTER QUERY q ON ERROR FAIL AS select[temperature > 28.0](invoke[getTemperature](sensors));`,
+		`REGISTER QUERY q ON ERROR AS x;`,
+		`REGISTER QUERY q ON ERROR BOGUS AS x;`,
+		`REGISTER QUERY q AS ;`,
 		`UNREGISTER QUERY q;`,
+		`EXPLAIN select[a = 1](r);`,
+		`EXPLAIN ANALYZE invoke[p](r);`,
+		`EXPLAIN ANALYZE SELECT * FROM contacts;`,
+		`EXPLAIN ;`,
+		`EXPLAIN ANALYZE ;`,
+		`EXPLAIN`,
 		`-- comment only`,
 		`PROTOTYPE`,
 		`INSERT INTO`,

@@ -1,0 +1,98 @@
+package pems
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"serena/internal/obs"
+)
+
+// ServeMetrics starts an HTTP observability endpoint on addr (e.g.
+// "127.0.0.1:0" to pick a free port) and returns the bound address. Routes:
+//
+//	/metrics       JSON snapshot of every counter, gauge, and histogram
+//	/debug/serena  human-readable status: clock, queries, breakers, metrics
+//	/debug/vars    standard expvar JSON (includes the "serena" variable)
+//
+// The server is stopped by Close. Starting a second server on the same
+// PEMS errors.
+func (p *PEMS) ServeMetrics(addr string) (string, error) {
+	p.mu.Lock()
+	if p.metricsShutdown != nil {
+		p.mu.Unlock()
+		return "", fmt.Errorf("pems: metrics server already running")
+	}
+	p.mu.Unlock()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", p.handleMetrics)
+	mux.HandleFunc("/debug/serena", p.handleDebug)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	p.mu.Lock()
+	p.metricsShutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	p.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+// handleMetrics serves the machine-readable metrics snapshot.
+func (p *PEMS) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(obs.Default.Snapshot())
+}
+
+// handleDebug serves the human-readable status page.
+func (p *PEMS) handleDebug(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "serena PEMS\n===========\n\nclock instant: %d\n", p.Now())
+
+	names := p.exec.QueryNames()
+	fmt.Fprintf(&b, "\ncontinuous queries (%d):\n", len(names))
+	for _, name := range names {
+		q, ok := p.exec.Query(name)
+		if !ok {
+			continue
+		}
+		st := q.Stats()
+		fmt.Fprintf(&b, "  %-16s %s\n", name, q.Plan())
+		fmt.Fprintf(&b, "  %-16s on-error=%s passive=%d memoized=%d active=%d errors=%d\n",
+			"", q.Degradation(), st.Passive, st.Memoized, st.Active, len(q.InvokeErrors()))
+	}
+
+	rels := p.exec.RelationNames()
+	fmt.Fprintf(&b, "\nrelations (%d): %s\n", len(rels), strings.Join(rels, ", "))
+
+	if states := p.BreakerStates(); states != nil {
+		refs := make([]string, 0, len(states))
+		for ref := range states {
+			refs = append(refs, ref)
+		}
+		sort.Strings(refs)
+		fmt.Fprintf(&b, "\ncircuit breakers (%d):\n", len(refs))
+		for _, ref := range refs {
+			fmt.Fprintf(&b, "  %-16s %s\n", ref, states[ref])
+		}
+	}
+
+	fmt.Fprintf(&b, "\nmetrics:\n%s", obs.Default.Snapshot().Render())
+	_, _ = io.WriteString(w, b.String())
+}

@@ -9,15 +9,18 @@ package pems
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
+	"unicode"
 
 	"serena/internal/algebra"
 	"serena/internal/catalog"
 	"serena/internal/cq"
 	"serena/internal/ddl"
 	"serena/internal/discovery"
+	"serena/internal/obs"
 	"serena/internal/optimizer"
 	"serena/internal/query"
 	"serena/internal/resilience"
@@ -43,6 +46,12 @@ type PEMS struct {
 	tickerStop  chan struct{}
 	tickerDone  chan struct{}
 	parallelism int
+
+	// explainOut receives the output of EXPLAIN [ANALYZE] DDL statements
+	// (default: discarded; the serena shell points it at stdout).
+	explainOut io.Writer
+	// metricsShutdown stops the HTTP observability endpoint, if running.
+	metricsShutdown func()
 }
 
 // Option configures a PEMS.
@@ -69,6 +78,7 @@ func New(opts ...Option) *PEMS {
 	p.catalog.OnCreateRelation = func(x *stream.XDRelation) {
 		_ = p.exec.AddRelation(x)
 	}
+	obs.PublishExpvar()
 	for _, o := range opts {
 		o(p)
 	}
@@ -78,11 +88,19 @@ func New(opts ...Option) *PEMS {
 	return p
 }
 
-// Close stops the real-time ticker (if running) and discovery.
+// Close stops the real-time ticker (if running), discovery, and the HTTP
+// observability endpoint.
 func (p *PEMS) Close() {
 	p.StopTicker()
 	if p.manager != nil {
 		p.manager.Stop()
+	}
+	p.mu.Lock()
+	shutdown := p.metricsShutdown
+	p.metricsShutdown = nil
+	p.mu.Unlock()
+	if shutdown != nil {
+		shutdown()
 	}
 }
 
@@ -182,6 +200,8 @@ func (p *PEMS) ExecuteDDL(src string) error {
 			}
 		case *ddl.UnregisterQuery:
 			err = p.exec.Unregister(t.Name)
+		case *ddl.Explain:
+			err = p.runExplain(t)
 		default:
 			err = p.catalog.Execute(st, at)
 		}
@@ -310,9 +330,131 @@ func (p *PEMS) Explain(src string) (*Explanation, error) {
 	}, nil
 }
 
+// SetExplainOutput directs the output of EXPLAIN [ANALYZE] DDL statements
+// to w (nil restores the default of discarding it). The serena shell sets
+// this to its stdout so scripted EXPLAINs print like interactive ones.
+func (p *PEMS) SetExplainOutput(w io.Writer) {
+	p.mu.Lock()
+	p.explainOut = w
+	p.mu.Unlock()
+}
+
+func (p *PEMS) explainWriter() io.Writer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.explainOut == nil {
+		return io.Discard
+	}
+	return p.explainOut
+}
+
+// runExplain executes an EXPLAIN [ANALYZE] DDL statement, writing the plan
+// (or trace) to the configured explain output.
+func (p *PEMS) runExplain(st *ddl.Explain) error {
+	w := p.explainWriter()
+	if st.Analyze {
+		rep, err := p.ExplainAnalyze(st.Source)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, rep.Plan)
+		return err
+	}
+	ex, err := p.Explain(st.Source)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "original:  %s\n", ex.Original)
+	for _, step := range ex.Steps {
+		fmt.Fprintf(w, "  %-28s -> %s\n", step.Rule, step.Result)
+	}
+	fmt.Fprintf(w, "optimized: %s\n", ex.Optimized)
+	fmt.Fprintf(w, "estimated cost: %.0f -> %.0f\n", ex.CostBefore, ex.CostAfter)
+	return nil
+}
+
+// TraceReport is the outcome of an EXPLAIN ANALYZE run: the annotated
+// physical plan (one line per operator with calls, input/output
+// cardinalities, and wall/self times) plus the result it was measured on.
+type TraceReport struct {
+	Plan   string
+	Result *query.Result
+}
+
+// ExplainAnalyze actually executes a query with every operator instrumented
+// (EXPLAIN ANALYZE semantics): the plan tree is rebuilt with tracing
+// wrappers, evaluated at the current instant, and rendered with measured
+// per-operator cardinalities and timings. A leading EXPLAIN [ANALYZE]
+// keyword pair in src is accepted and ignored. Beware: active invocations
+// in the query DO fire — EXPLAIN ANALYZE runs the query for real.
+func (p *PEMS) ExplainAnalyze(src string) (*TraceReport, error) {
+	body, _, _ := StripExplain(src)
+	env := p.snapshotEnv()
+	var n query.Node
+	if LooksLikeSQL(body) {
+		st, err := ssql.Compile(body, env)
+		if err != nil {
+			return nil, err
+		}
+		n = st.Root
+	} else {
+		var err error
+		n, err = sal.Parse(body)
+		if err != nil {
+			return nil, err
+		}
+	}
+	traced, err := query.Instrument(n)
+	if err != nil {
+		return nil, err
+	}
+	at := p.exec.Now()
+	if at < 0 {
+		at = 0
+	}
+	ctx := query.NewContext(p.Env(at), p.registry, at)
+	ctx.Parallelism = p.invocationParallelism()
+	res, err := query.EvaluateCtx(traced, ctx)
+	if err != nil {
+		// A failed evaluation still carries a partial trace (the error is
+		// annotated on the operator that raised it).
+		return &TraceReport{Plan: traced.Render()}, err
+	}
+	return &TraceReport{Plan: traced.Render(), Result: res}, nil
+}
+
+// StripExplain removes an optional leading EXPLAIN [ANALYZE] keyword pair
+// from a query source, reporting which prefixes were present. It lets
+// shells accept "EXPLAIN ANALYZE <query>" for SAL sources too (the SQL
+// compiler recognizes the prefix natively).
+func StripExplain(src string) (body string, explain, analyze bool) {
+	body = strings.TrimSpace(src)
+	if head, rest := headWord(body); strings.EqualFold(head, "EXPLAIN") && rest != "" {
+		explain = true
+		body = rest
+		if head, rest = headWord(body); strings.EqualFold(head, "ANALYZE") && rest != "" {
+			analyze = true
+			body = rest
+		}
+	}
+	return body, explain, analyze
+}
+
+// headWord splits a trimmed source into its first whitespace-delimited word
+// and the trimmed remainder ("" if there is no remainder).
+func headWord(s string) (word, rest string) {
+	i := strings.IndexFunc(s, unicode.IsSpace)
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
 // LooksLikeSQL reports whether a query source is Serena SQL rather than
 // Serena Algebra Language: it starts with the SELECT keyword followed by
 // whitespace (the SAL operator of the same name is written "select[…]").
+// A bracket after the keyword — even space-separated, as produced when the
+// DDL parser re-tokenizes a REGISTER QUERY body — means SAL.
 func LooksLikeSQL(src string) bool {
 	t := strings.TrimSpace(src)
 	if len(t) < 7 || !strings.EqualFold(t[:6], "SELECT") {
@@ -320,9 +462,11 @@ func LooksLikeSQL(src string) bool {
 	}
 	switch t[6] {
 	case ' ', '\t', '\n', '\r':
-		return true
+	default:
+		return false
 	}
-	return false
+	rest := strings.TrimLeft(t[6:], " \t\n\r")
+	return !strings.HasPrefix(rest, "[")
 }
 
 // snapshotEnv exposes the environment's current contents for planning.

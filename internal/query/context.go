@@ -8,10 +8,21 @@ import (
 	"sync"
 
 	"serena/internal/algebra"
+	"serena/internal/obs"
 	"serena/internal/resilience"
 	"serena/internal/schema"
 	"serena/internal/service"
 	"serena/internal/value"
+)
+
+// β invocation counters as seen from the algebra (the service layer counts
+// physical calls; these split them by binding-pattern mode and add memo and
+// degradation outcomes).
+var (
+	obsQueryActive   = obs.Default.Counter("query.invoke.active")
+	obsQueryPassive  = obs.Default.Counter("query.invoke.passive")
+	obsQueryMemoized = obs.Default.Counter("query.invoke.memoized")
+	obsQueryDegraded = obs.Default.Counter("query.invoke.degraded")
 )
 
 // Action is one element of a query's action set (Definition 8): the
@@ -182,6 +193,10 @@ type Context struct {
 	// statsMu guards Stats and OnInvokeError calls under parallel
 	// invocation.
 	statsMu sync.Mutex
+
+	// published remembers how much of Stats has already been flushed to
+	// the process-wide obs counters (see PublishObsStats).
+	published InvokeStats
 }
 
 // InvokeError records one skipped invocation failure.
@@ -255,6 +270,26 @@ func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input valu
 	return rows, nil
 }
 
+// PublishObsStats flushes this context's invocation statistics into the
+// process-wide obs counters ("query.invoke.passive" and friends), as
+// deltas since the previous flush so repeated calls never double-count.
+// EvaluateCtx and the continuous executor call it once per evaluation:
+// batching at evaluation granularity keeps the per-invocation hot path
+// free of global atomics while the registry stays exact.
+func (c *Context) PublishObsStats() {
+	c.statsMu.Lock()
+	d := InvokeStats{
+		Passive:  c.Stats.Passive - c.published.Passive,
+		Active:   c.Stats.Active - c.published.Active,
+		Memoized: c.Stats.Memoized - c.published.Memoized,
+	}
+	c.published = c.Stats
+	c.statsMu.Unlock()
+	obsQueryPassive.Add(d.Passive)
+	obsQueryActive.Add(d.Active)
+	obsQueryMemoized.Add(d.Memoized)
+}
+
 // ctx returns the evaluation context's context.Context (never nil).
 func (c *Context) ctx() context.Context {
 	if c.Ctx != nil {
@@ -288,8 +323,11 @@ func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value
 		c.statsMu.Lock()
 		policyErr := c.OnInvokeError(bp, ref, input, err)
 		c.statsMu.Unlock()
-		if policyErr == nil && skipped != nil {
-			*skipped = true
+		if policyErr == nil {
+			obsQueryDegraded.Inc()
+			if skipped != nil {
+				*skipped = true
+			}
 		}
 		return nil, policyErr
 	}
@@ -305,11 +343,13 @@ func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value
 	}
 	switch c.Degradation {
 	case resilience.SkipTuple:
+		obsQueryDegraded.Inc()
 		if skipped != nil {
 			*skipped = true
 		}
 		return nil, nil
 	case resilience.NullFill:
+		obsQueryDegraded.Inc()
 		if skipped != nil {
 			*skipped = true
 		}

@@ -26,6 +26,7 @@ func Evaluate(q Node, env Environment, reg *service.Registry, at service.Instant
 // error policy, invocation parallelism, disabled memo, …).
 func EvaluateCtx(q Node, ctx *Context) (*Result, error) {
 	rel, err := q.Eval(ctx)
+	ctx.PublishObsStats()
 	if err != nil {
 		return nil, err
 	}

@@ -47,6 +47,12 @@ type BreakerPolicy struct {
 	// Now is the clock (injectable for deterministic tests); nil means
 	// time.Now.
 	Now func() time.Time
+	// OnTransition, when non-nil, observes every state change. It is called
+	// synchronously with the breaker's internal lock held, so it must be
+	// fast and must not call back into the breaker. This keeps the
+	// resilience package dependency-free: callers (e.g. the service layer)
+	// attach their own metrics here.
+	OnTransition func(from, to State)
 }
 
 func (p BreakerPolicy) normalized() BreakerPolicy {
@@ -127,7 +133,7 @@ func (b *Breaker) Success() {
 		}
 		if b.inFlight == 0 && !b.probeFail {
 			// All probes succeeded: the service recovered.
-			b.state = Closed
+			b.setStateLocked(Closed)
 			b.failures = 0
 		}
 	}
@@ -159,7 +165,7 @@ func (b *Breaker) Failure() {
 
 // trip moves to Open and stamps the cooldown clock (lock held).
 func (b *Breaker) trip() {
-	b.state = Open
+	b.setStateLocked(Open)
 	b.openedAt = b.policy.Now()
 	b.failures = 0
 	b.inFlight = 0
@@ -169,9 +175,21 @@ func (b *Breaker) trip() {
 // advanceLocked promotes Open → HalfOpen once the cooldown has elapsed.
 func (b *Breaker) advanceLocked() {
 	if b.state == Open && b.policy.Now().Sub(b.openedAt) >= b.policy.Cooldown {
-		b.state = HalfOpen
+		b.setStateLocked(HalfOpen)
 		b.inFlight = 0
 		b.probeFail = false
+	}
+}
+
+// setStateLocked changes state and fires the transition hook (lock held).
+func (b *Breaker) setStateLocked(to State) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.policy.OnTransition != nil {
+		b.policy.OnTransition(from, to)
 	}
 }
 

@@ -1,0 +1,276 @@
+package rewrite_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"serena/internal/algebra"
+	"serena/internal/paperenv"
+	"serena/internal/query"
+	"serena/internal/rewrite"
+	"serena/internal/service"
+	"serena/internal/value"
+)
+
+// Property-based tests for the Table 5 rewrite rules: random X-Relations and
+// random operator stacks, rewritten to fixpoint and checked for Definition 9
+// equivalence (same result AND same action set). Three generators cover the
+// three soundness regimes:
+//
+//   - passive binding patterns, where β may be reorganized freely,
+//   - joins with assignments/selections, where only classical rules fire,
+//   - an ACTIVE β, which the rewriter must refuse to move (Definition 8).
+
+var (
+	propAreas     = []string{"office", "corridor", "roof", "lab"}
+	propNames     = []string{"Nicolas", "Carla", "Francois", "Zoe"}
+	propCameraRef = []string{"camera01", "camera02", "webcam07"}
+	propSensorRef = []string{"sensor01", "sensor06", "sensor07", "sensor22"}
+)
+
+// randomCameras builds a cameras X-Relation with 1..6 rows over the
+// registered camera services and random areas.
+func randomCameras(rng *rand.Rand) *algebra.XRelation {
+	n := 1 + rng.Intn(6)
+	tuples := make([]value.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		tuples = append(tuples, value.Tuple{
+			value.NewService(propCameraRef[rng.Intn(len(propCameraRef))]),
+			value.NewString(propAreas[rng.Intn(len(propAreas))]),
+		})
+	}
+	return algebra.MustNew(paperenv.CamerasSchema(), tuples)
+}
+
+// randomContacts builds a contacts X-Relation with 1..5 rows bound to the
+// registered messenger services.
+func randomContacts(rng *rand.Rand) *algebra.XRelation {
+	n := 1 + rng.Intn(5)
+	tuples := make([]value.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		name := propNames[rng.Intn(len(propNames))]
+		ref := []string{"email", "jabber"}[rng.Intn(2)]
+		tuples = append(tuples, value.Tuple{
+			value.NewString(name),
+			value.NewString(name + "@example.org"),
+			value.NewService(ref),
+		})
+	}
+	return algebra.MustNew(paperenv.ContactsSchema(), tuples)
+}
+
+// randomSurveillance builds a (name, location) relation with 1..5 rows.
+func randomSurveillance(rng *rand.Rand) *algebra.XRelation {
+	n := 1 + rng.Intn(5)
+	tuples := make([]value.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		tuples = append(tuples, value.Tuple{
+			value.NewString(propNames[rng.Intn(len(propNames))]),
+			value.NewString(propAreas[rng.Intn(len(propAreas))]),
+		})
+	}
+	return algebra.MustNew(paperenv.SurveillanceSchema(), tuples)
+}
+
+// checkDef9 rewrites q and asserts Definition 9 equivalence, returning the
+// rewritten plan and steps. Plans that do not evaluate (e.g. a selection
+// over an attribute still virtual at that point) are skipped by the caller.
+func checkDef9(t *testing.T, trial int, q query.Node, env query.MapEnv, reg *service.Registry) (query.Node, []rewrite.Step) {
+	t.Helper()
+	out, steps, err := rewrite.Apply(q, env, rewrite.DefaultRules())
+	if err != nil {
+		t.Fatalf("trial %d: rewrite error: %v\nq = %s", trial, err, q)
+	}
+	v, err := query.CheckEquivalence(q, out, env, reg, service.Instant(trial))
+	if err != nil {
+		t.Fatalf("trial %d: equivalence check: %v\nbefore: %s\nafter:  %s", trial, err, q, out)
+	}
+	if !v.Equivalent {
+		t.Fatalf("trial %d: rewrite broke Definition 9 (%s)\nbefore: %s\nafter:  %s",
+			trial, v.Reason, q, out)
+	}
+	return out, steps
+}
+
+// TestPropertyPassiveCameraStacks stacks random σ/β/π operators over random
+// cameras relations. Every rewrite must preserve result and (empty) action
+// set, and pushing selections below passive β must never increase the
+// passive invocation count.
+func TestPropertyPassiveCameraStacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		reg, _ := paperenv.MustRegistry()
+		env := query.MapEnv{"cameras": randomCameras(rng)}
+
+		var q query.Node = query.NewBase("cameras")
+		q = query.NewInvoke(q, "checkPhoto", "")
+		// Random selections, in random order, above the invocation: some
+		// depend on checkPhoto's outputs (not pushable), some only on base
+		// attributes (pushable).
+		for _, pick := range rng.Perm(3) {
+			switch pick {
+			case 0:
+				if rng.Intn(2) == 0 {
+					q = query.NewSelect(q, algebra.Compare(algebra.Attr("area"), algebra.Eq,
+						algebra.Const(value.NewString(propAreas[rng.Intn(len(propAreas))]))))
+				}
+			case 1:
+				if rng.Intn(2) == 0 {
+					q = query.NewSelect(q, algebra.Compare(algebra.Attr("quality"), algebra.Ge,
+						algebra.Const(value.NewInt(int64(rng.Intn(10))))))
+				}
+			case 2:
+				if rng.Intn(2) == 0 {
+					q = query.NewSelect(q, algebra.Compare(algebra.Attr("delay"), algebra.Gt,
+						algebra.Const(value.NewReal(float64(rng.Intn(3))))))
+				}
+			}
+		}
+		if rng.Intn(3) == 0 {
+			q = query.NewProject(q, "camera", "area", "quality", "delay")
+		}
+
+		before, err := query.Evaluate(q, env, reg, service.Instant(trial))
+		if err != nil {
+			t.Fatalf("trial %d: original plan failed: %v\nq = %s", trial, err, q)
+		}
+		out, _ := checkDef9(t, trial, q, env, reg)
+		after, err := query.Evaluate(out, env, reg, service.Instant(trial))
+		if err != nil {
+			t.Fatalf("trial %d: rewritten plan failed: %v", trial, err)
+		}
+		if after.Stats.Passive > before.Stats.Passive {
+			t.Fatalf("trial %d: rewrite increased passive invocations %d → %d\nbefore: %s\nafter:  %s",
+				trial, before.Stats.Passive, after.Stats.Passive, q, out)
+		}
+	}
+}
+
+// TestPropertyJoinAssignStacks randomizes α and σ over contacts ⋈
+// surveillance: only classical/assignment rules can fire, and Definition 9
+// must hold for every generated plan.
+func TestPropertyJoinAssignStacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		reg, _ := paperenv.MustRegistry()
+		env := query.MapEnv{
+			"contacts":     randomContacts(rng),
+			"surveillance": randomSurveillance(rng),
+		}
+
+		var q query.Node = query.NewJoin(query.NewBase("contacts"), query.NewBase("surveillance"))
+		if rng.Intn(2) == 0 {
+			q = query.NewAssignConst(q, "text", value.NewString("Bonjour!"))
+		}
+		if rng.Intn(2) == 0 {
+			q = query.NewSelect(q, algebra.Compare(algebra.Attr("location"), algebra.Eq,
+				algebra.Const(value.NewString(propAreas[rng.Intn(len(propAreas))]))))
+		}
+		if rng.Intn(2) == 0 {
+			q = query.NewSelect(q, algebra.Compare(algebra.Attr("name"), algebra.Ne,
+				algebra.Const(value.NewString(propNames[rng.Intn(len(propNames))]))))
+		}
+		checkDef9(t, trial, q, env, reg)
+	}
+}
+
+// TestPropertyActiveInvokeNeverMoves generates random plans around an
+// ACTIVE β_sendMessage and asserts (a) no rule moved an operator across the
+// active invocation, and (b) the action set — the messages the query sends —
+// is bit-for-bit preserved (Definition 8 via Definition 9).
+func TestPropertyActiveInvokeNeverMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 120; trial++ {
+		reg, _ := paperenv.MustRegistry()
+		env := query.MapEnv{"contacts": randomContacts(rng)}
+
+		var q query.Node = query.NewBase("contacts")
+		if rng.Intn(2) == 0 {
+			q = query.NewSelect(q, algebra.Compare(algebra.Attr("name"), algebra.Ne,
+				algebra.Const(value.NewString(propNames[rng.Intn(len(propNames))]))))
+		}
+		q = query.NewAssignConst(q, "text", value.NewString("Bonjour!"))
+		q = query.NewInvoke(q, "sendMessage", "")
+		// Selections ABOVE the active invocation: pushing any of them below
+		// would shrink the action set (the paper's Q1 vs Q1', Example 7).
+		sieves := 0
+		if rng.Intn(2) == 0 {
+			q = query.NewSelect(q, algebra.Compare(algebra.Attr("name"), algebra.Ne,
+				algebra.Const(value.NewString(propNames[rng.Intn(len(propNames))]))))
+			sieves++
+		}
+		if rng.Intn(2) == 0 {
+			q = query.NewSelect(q, algebra.Compare(algebra.Attr("sent"), algebra.Eq,
+				algebra.Const(value.NewBool(true))))
+			sieves++
+		}
+		if sieves > 0 && rng.Intn(2) == 0 {
+			q = query.NewProject(q, "name", "sent")
+		}
+
+		out, steps := checkDef9(t, trial, q, env, reg)
+		for _, s := range steps {
+			if s.Rule == "push-select-below-invoke" || s.Rule == "push-project-below-invoke" {
+				t.Fatalf("trial %d: rule %s moved an operator across an ACTIVE β\nbefore: %s\nafter:  %s",
+					trial, s.Rule, q, out)
+			}
+		}
+		// Structural double-check: everything below the active invocation is
+		// untouched (merge-selects below it would be fine, but our generator
+		// never stacks two selections under the invoke).
+		if wantSub := subtreeUnderInvoke(q); wantSub != "" {
+			if gotSub := subtreeUnderInvoke(out); gotSub != wantSub {
+				t.Fatalf("trial %d: subtree under active β changed\nbefore: %s\nafter:  %s", trial, wantSub, gotSub)
+			}
+		}
+	}
+}
+
+// subtreeUnderInvoke renders the child of the first Invoke found by
+// depth-first walk ("" when the tree has none).
+func subtreeUnderInvoke(n query.Node) string {
+	if inv, ok := n.(*query.Invoke); ok {
+		return inv.Child.String()
+	}
+	for _, c := range n.Children() {
+		if s := subtreeUnderInvoke(c); s != "" {
+			return s
+		}
+	}
+	return ""
+}
+
+// TestPropertyRewriteFixpointStable re-applies the rewriter to its own
+// output across all three generators' shapes: the second pass must be a
+// no-op (the rule set is confluent on these plans).
+func TestPropertyRewriteFixpointStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		env := query.MapEnv{"cameras": randomCameras(rng)}
+		var q query.Node = query.NewInvoke(query.NewBase("cameras"), "checkPhoto", "")
+		if rng.Intn(2) == 0 {
+			q = query.NewSelect(q, algebra.Compare(algebra.Attr("area"), algebra.Eq,
+				algebra.Const(value.NewString(propAreas[rng.Intn(len(propAreas))]))))
+		}
+		if rng.Intn(2) == 0 {
+			q = query.NewSelect(q, algebra.Compare(algebra.Attr("quality"), algebra.Ge,
+				algebra.Const(value.NewInt(int64(rng.Intn(10))))))
+		}
+		out1, _, err := rewrite.Apply(q, env, rewrite.DefaultRules())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		out2, steps2, err := rewrite.Apply(out1, env, rewrite.DefaultRules())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(steps2) != 0 || out1.String() != out2.String() {
+			t.Fatalf("trial %d: fixpoint unstable\nfirst:  %s\nsecond: %s\nsteps: %+v",
+				trial, out1, out2, steps2)
+		}
+		if strings.Contains(out2.String(), "select[true]") {
+			t.Fatalf("trial %d: degenerate selection introduced: %s", trial, out2)
+		}
+	}
+}

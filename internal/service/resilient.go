@@ -3,11 +3,81 @@ package service
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"serena/internal/obs"
 	"serena/internal/resilience"
 	"serena/internal/value"
 )
+
+// Invocation metrics, always on. Aggregates are cached package-level;
+// per-(prototype, service) bundles hang off the services-map entry so the
+// β hot path costs no extra lookup — just a few atomic ops, no allocation.
+var (
+	obsInvokeLatency   = obs.Default.Histogram("service.invoke.latency")
+	obsInvokeCalls     = obs.Default.Counter("service.invoke.calls")
+	obsInvokeRetries   = obs.Default.Counter("service.invoke.retries")
+	obsInvokeFailures  = obs.Default.Counter("service.invoke.failures")
+	obsInvokeShortCirc = obs.Default.Counter("service.invoke.short_circuits")
+)
+
+// invokeMetrics is the cached per-(prototype, service) metric bundle,
+// registered under keys like "service.invoke.calls{getTemperature|sensor1}".
+type invokeMetrics struct {
+	calls    *obs.Counter
+	latency  *obs.Histogram
+	retries  *obs.Counter
+	failures *obs.Counter
+}
+
+// svcEntry is what the registry's services map actually holds: the service
+// plus its per-prototype metric bundles. Hanging the bundles off the entry
+// lets the β hot path reuse the services-map lookup it already pays for —
+// no second hash, no extra lock. A service implements very few prototypes,
+// so resolution is a short slice scan over an immutable snapshot.
+type svcEntry struct {
+	svc  Service
+	im   atomic.Pointer[[]protoMetrics]
+	imMu sync.Mutex // serializes bundle creation; readers go through im
+}
+
+type protoMetrics struct {
+	proto string
+	im    *invokeMetrics
+}
+
+func (e *svcEntry) metricsFor(proto, ref string) *invokeMetrics {
+	if list := e.im.Load(); list != nil {
+		for i := range *list {
+			if (*list)[i].proto == proto {
+				return (*list)[i].im
+			}
+		}
+	}
+	e.imMu.Lock()
+	defer e.imMu.Unlock()
+	var list []protoMetrics
+	if p := e.im.Load(); p != nil {
+		list = *p
+		for i := range list {
+			if list[i].proto == proto {
+				return list[i].im
+			}
+		}
+	}
+	key := proto + "|" + ref
+	im := &invokeMetrics{
+		calls:    obs.Default.Counter(obs.Key("service.invoke.calls", key)),
+		latency:  obs.Default.Histogram(obs.Key("service.invoke.latency", key)),
+		retries:  obs.Default.Counter(obs.Key("service.invoke.retries", key)),
+		failures: obs.Default.Counter(obs.Key("service.invoke.failures", key)),
+	}
+	next := append(append(make([]protoMetrics, 0, len(list)+1), list...), protoMetrics{proto, im})
+	e.im.Store(&next)
+	return im
+}
 
 // CtxService is an optional Service extension for implementations that can
 // honor a context deadline natively (remote proxies propagate it to the
@@ -47,6 +117,11 @@ func (r *Registry) SetRetryPolicy(p resilience.RetryPolicy) {
 // cooldown a half-open probe tests recovery. The returned set can be
 // inspected for operational visibility.
 func (r *Registry) EnableBreakers(policy resilience.BreakerPolicy) *resilience.BreakerSet {
+	if policy.OnTransition == nil {
+		policy.OnTransition = func(from, to resilience.State) {
+			obs.Default.Counter(obs.Key("resilience.breaker.transitions", from.String()+"->"+to.String())).Inc()
+		}
+	}
 	set := resilience.NewBreakerSet(policy)
 	r.mu.Lock()
 	r.breakers = set
@@ -67,7 +142,7 @@ func (r *Registry) Breakers() *resilience.BreakerSet {
 func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value.Tuple, at Instant) ([]value.Tuple, error) {
 	r.mu.RLock()
 	p, okP := r.protos[proto]
-	s, okS := r.services[ref]
+	e, okS := r.services[ref]
 	retry := r.retry
 	breakers := r.breakers
 	timeout := r.invokeTimeout
@@ -78,6 +153,7 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 	if !okS {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownService, ref)
 	}
+	s := e.svc
 	if !s.Implements(proto) {
 		return nil, fmt.Errorf("%w: %s on %s", ErrNotImplemented, proto, ref)
 	}
@@ -93,6 +169,19 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 	if !p.Active && retry.MaxAttempts > 1 {
 		attempts = retry.MaxAttempts
 	}
+	im := e.metricsFor(proto, ref)
+	obsInvokeCalls.Inc()
+	// Counters are exact; latency is sampled — the first call per
+	// (prototype, service) and every 8th after that. The two clock reads
+	// and two histogram updates are the costliest part of always-on
+	// instrumentation, and an in-process invocation is only ~1µs, so
+	// sampling is what keeps the β hot path inside the ≤5% overhead
+	// budget. The sampled distribution remains representative —
+	// invocation latency does not correlate with the call index — and
+	// sampling call 1 means even a single invocation shows up in
+	// .metrics.
+	nCall := im.calls.Next()
+	sampleLatency := nCall == 1 || nCall&7 == 0
 	var rows []value.Tuple
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -100,11 +189,23 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 			if err := resilience.SleepCtx(ctx, retry.Backoff(attempt-1, proto+"|"+ref)); err != nil {
 				break // the deadline expired during backoff; report the last failure
 			}
+			obsInvokeRetries.Inc()
+			im.retries.Inc()
 		}
 		if breakers != nil && !breakers.Allow(ref) {
+			obsInvokeShortCirc.Inc()
 			return nil, fmt.Errorf("service: invoke %s on %s: %w", proto, ref, resilience.ErrOpen)
 		}
+		var start time.Time
+		if sampleLatency {
+			start = time.Now()
+		}
 		rows, lastErr = callService(ctx, s, proto, in, at, timeout)
+		if sampleLatency {
+			elapsed := time.Since(start)
+			obsInvokeLatency.Observe(elapsed)
+			im.latency.Observe(elapsed)
+		}
 		if breakers != nil {
 			breakers.OnResult(ref, lastErr == nil)
 		}
@@ -116,6 +217,8 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 		}
 	}
 	if lastErr != nil {
+		obsInvokeFailures.Inc()
+		im.failures.Inc()
 		return nil, fmt.Errorf("service: invoke %s on %s: %w", proto, ref, lastErr)
 	}
 

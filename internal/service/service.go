@@ -120,7 +120,7 @@ type Event struct {
 type Registry struct {
 	mu       sync.RWMutex
 	protos   map[string]*schema.Prototype
-	services map[string]Service
+	services map[string]*svcEntry
 	watchers map[int]chan Event
 	nextW    int
 
@@ -133,7 +133,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		protos:   make(map[string]*schema.Prototype),
-		services: make(map[string]Service),
+		services: make(map[string]*svcEntry),
 		watchers: make(map[int]chan Event),
 	}
 }
@@ -196,7 +196,7 @@ func (r *Registry) Register(s Service) error {
 			return fmt.Errorf("%w: %s (claimed by service %s)", ErrUnknownPrototype, pn, s.Ref())
 		}
 	}
-	r.services[s.Ref()] = s
+	r.services[s.Ref()] = &svcEntry{svc: s}
 	if r.breakers != nil {
 		// A (re)registered service starts with a clean slate: whatever
 		// failure history its reference accumulated belongs to the departed
@@ -212,13 +212,13 @@ func (r *Registry) Register(s Service) error {
 // watchers. Unknown references error.
 func (r *Registry) Unregister(ref string) error {
 	r.mu.Lock()
-	s, ok := r.services[ref]
+	e, ok := r.services[ref]
 	if !ok {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownService, ref)
 	}
 	delete(r.services, ref)
-	r.broadcastLocked(Event{Kind: Removed, Ref: ref, Prototypes: s.PrototypeNames()})
+	r.broadcastLocked(Event{Kind: Removed, Ref: ref, Prototypes: e.svc.PrototypeNames()})
 	r.mu.Unlock()
 	return nil
 }
@@ -227,11 +227,11 @@ func (r *Registry) Unregister(ref string) error {
 func (r *Registry) Lookup(ref string) (Service, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s, ok := r.services[ref]
+	e, ok := r.services[ref]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownService, ref)
 	}
-	return s, nil
+	return e.svc, nil
 }
 
 // Refs returns all registered service references, sorted.
@@ -256,8 +256,8 @@ func (r *Registry) Implementing(proto string) []string {
 	r.mu.RLock()
 	breakers := r.breakers
 	var out []string
-	for ref, s := range r.services {
-		if s.Implements(proto) {
+	for ref, e := range r.services {
+		if e.svc.Implements(proto) {
 			out = append(out, ref)
 		}
 	}

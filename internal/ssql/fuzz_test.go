@@ -22,6 +22,12 @@ func FuzzCompile(f *testing.F) {
 		`SELECT a FROM r WHERE`,
 		`SELECT sum( FROM r`,
 		"SELECT \x00 FROM r",
+		`EXPLAIN SELECT * FROM contacts`,
+		`EXPLAIN ANALYZE SELECT photo FROM cameras USING checkPhoto, takePhoto WHERE quality >= 5`,
+		`EXPLAIN ANALYZE`,
+		`EXPLAIN EXPLAIN ANALYZE SELECT * FROM contacts`,
+		`ANALYZE SELECT * FROM contacts`,
+		`explain analyze select name from contacts where name <> "Carla"`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

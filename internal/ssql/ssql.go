@@ -21,7 +21,7 @@
 //
 // Grammar:
 //
-//	query   := SELECT items FROM source {NATURAL JOIN source}
+//	query   := [EXPLAIN [ANALYZE]] SELECT items FROM source {NATURAL JOIN source}
 //	           [SET assign {, assign}] [USING inv {, inv}]
 //	           [WHERE formula] [GROUP BY idents] [STREAMING kind] [;]
 //	items   := '*' | item {, item}
@@ -56,6 +56,12 @@ type Statement struct {
 	Root query.Node
 	// Text is the SAL rendering of the plan.
 	Text string
+	// Explain marks an EXPLAIN-prefixed statement: the caller should show
+	// the plan (and optimization steps) instead of returning rows.
+	Explain bool
+	// Analyze additionally requests traced execution (EXPLAIN ANALYZE):
+	// run the plan and annotate every operator with rows and wall time.
+	Analyze bool
 }
 
 // Compile parses src and compiles it against the environment (schemas are
@@ -70,7 +76,7 @@ func Compile(src string, env query.Environment) (*Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Statement{Root: root, Text: root.String()}, nil
+	return &Statement{Root: root, Text: root.String(), Explain: q.explain, Analyze: q.analyze}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -107,6 +113,8 @@ type ast struct {
 	where     []algebra.Formula // top-level conjuncts
 	groupBy   []string
 	streaming *query.StreamKind
+	explain   bool
+	analyze   bool
 }
 
 // ---------------------------------------------------------------------------
@@ -147,6 +155,15 @@ func (p *parser) peekKeyword(kw string) bool {
 
 func (p *parser) parse() (*ast, error) {
 	q := &ast{}
+	// Optional EXPLAIN [ANALYZE] prefix.
+	if p.peekKeyword("EXPLAIN") {
+		_, _ = p.lx.Next()
+		q.explain = true
+		if p.peekKeyword("ANALYZE") {
+			_, _ = p.lx.Next()
+			q.analyze = true
+		}
+	}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}

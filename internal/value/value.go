@@ -326,7 +326,7 @@ func (v Value) String() string {
 	case Real:
 		return strconv.FormatFloat(math.Float64frombits(v.num), 'g', -1, 64)
 	case String:
-		return strconv.Quote(v.str)
+		return quoteSAL(v.str)
 	case Service:
 		return v.str
 	case Blob:
@@ -337,6 +337,32 @@ func (v Value) String() string {
 		return fmt.Sprintf("0x%s…(%dB)", hex.EncodeToString(v.blob[:max]), len(v.blob))
 	}
 	return "?"
+}
+
+// quoteSAL renders s as a double-quoted SAL string literal using only the
+// escape sequences the SAL lexer understands (\\ \" \n \t); every other
+// byte is emitted verbatim. strconv.Quote is unsuitable here: it emits
+// \xNN / \uNNNN escapes for non-printable or non-UTF-8 content, which the
+// lexer would re-read as the literal characters 'x', 'N', 'N'.
+func quoteSAL(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\', '"':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // Parse parses a literal in Serena Algebra Language syntax: quoted strings

@@ -21,9 +21,22 @@ import (
 	"sync"
 	"time"
 
+	"serena/internal/obs"
 	"serena/internal/resilience"
 	"serena/internal/service"
 	"serena/internal/value"
+)
+
+// Wire metrics: round-trip latency and outcome counters, plus connection
+// churn (dials cover both the first connect and every redial).
+var (
+	obsWireLatency  = obs.Default.Histogram("wire.roundtrip.latency")
+	obsWireCalls    = obs.Default.Counter("wire.roundtrip.calls")
+	obsWireRetries  = obs.Default.Counter("wire.roundtrip.retries")
+	obsWireFailures = obs.Default.Counter("wire.roundtrip.failures")
+	obsWireTimeouts = obs.Default.Counter("wire.roundtrip.timeouts")
+	obsWireDials    = obs.Default.Counter("wire.dials")
+	obsWireConnLost = obs.Default.Counter("wire.connections_lost")
 )
 
 // Value is the wire form of value.Value (gob needs exported fields).
@@ -328,6 +341,7 @@ func (c *Client) SetReconnect(attempts int, base, max time.Duration) {
 
 // connectLocked (re)establishes the connection and starts its read loop.
 func (c *Client) connectLocked() error {
+	obsWireDials.Inc()
 	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 	if err != nil {
 		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
@@ -395,6 +409,17 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 // with capped exponential backoff and retry; a timed-out or cancelled
 // request is NOT retried, because it may already have reached the server.
 func (c *Client) roundTripCtx(ctx context.Context, req *Request) (*Response, error) {
+	obsWireCalls.Inc()
+	start := time.Now()
+	resp, err := c.doRoundTripCtx(ctx, req)
+	obsWireLatency.Observe(time.Since(start))
+	if err != nil {
+		obsWireFailures.Inc()
+	}
+	return resp, err
+}
+
+func (c *Client) doRoundTripCtx(ctx context.Context, req *Request) (*Response, error) {
 	c.mu.Lock()
 	attempts := c.attempts
 	c.mu.Unlock()
@@ -409,6 +434,7 @@ func (c *Client) roundTripCtx(ctx context.Context, req *Request) (*Response, err
 			if backoff > c.backoffMax {
 				backoff = c.backoffMax
 			}
+			obsWireRetries.Inc()
 		}
 		resp, err, retryable := c.tryRoundTrip(ctx, req)
 		if err == nil {
@@ -480,10 +506,12 @@ func (c *Client) tryRoundTrip(ctx context.Context, req *Request) (resp *Response
 			// only way forward. (An ACTIVE request may still have executed
 			// server-side before the crash — see "Failure semantics" in
 			// DESIGN.md for the at-most-once discussion.)
+			obsWireConnLost.Inc()
 			return nil, fmt.Errorf("wire: %s: connection lost", c.addr), true
 		}
 		return resp, nil, false
 	case <-timeout:
+		obsWireTimeouts.Inc()
 		c.mu.Lock()
 		delete(cc.pending, req.ID)
 		c.mu.Unlock()

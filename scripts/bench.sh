@@ -1,0 +1,30 @@
+#!/bin/sh
+# bench.sh — run the full benchmark suite and write a machine-readable
+# report BENCH_<date>.json at the repository root (the benchmark pipeline's
+# interchange format; see cmd/benchfmt).
+#
+# Environment:
+#   BENCHTIME   per-benchmark time or iteration budget (default 1s; CI uses
+#               a small value like 10x to keep runs fast)
+#   BENCH       benchmark name filter (default: all)
+#   OUT         output file (default: BENCH_$(date +%F).json)
+#
+# The script fails when benchmarks fail or produce no parseable results;
+# a report is only written on success.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+BENCH="${BENCH:-.}"
+OUT="${OUT:-BENCH_$(date +%F).json}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running benchmarks (bench=$BENCH benchtime=$BENCHTIME)..." >&2
+# -run=^$ skips unit tests; benchmarks only.
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" ./... | tee "$raw" >&2
+
+go run ./cmd/benchfmt -go "$(go version | cut -d' ' -f3)" -o "$OUT" <"$raw"
+echo "wrote $OUT" >&2
