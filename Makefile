@@ -5,9 +5,15 @@ GO ?= go
 all: build vet test
 
 # The CI gate: static checks plus the full test suite under the race
-# detector.
+# detector. staticcheck runs when installed (CI installs it; locally it is
+# optional so `make check` works on a bare toolchain).
 check:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
 	$(GO) test -race ./...
 
 build:

@@ -26,6 +26,7 @@ import (
 	"serena/internal/service"
 	"serena/internal/ssql"
 	"serena/internal/stream"
+	"serena/internal/trace"
 	"serena/internal/value"
 	"serena/internal/wire"
 )
@@ -108,6 +109,44 @@ func BenchmarkInvoke(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkInvokeTraceOverhead is the tracing A/B: the BenchmarkInvoke
+// workload with the tracer off, at the default head-sampling rate (1-in-64
+// roots), and fully on (every root). The budget is ≤5% overhead for the
+// default rate over off — the sampled and always rows exist to show where
+// the cost lives, the off row is the baseline the budget is measured
+// against. tracing/op reports the configured sampling interval so reports
+// are self-describing.
+func BenchmarkInvokeTraceOverhead(b *testing.B) {
+	const n = 100
+	env := bench.MustGenerate(bench.Config{Sensors: n, Cameras: 1, Contacts: 1, Locations: 1, Seed: 1})
+	q := query.NewInvoke(query.NewBase("sensors"), "getTemperature", "")
+	prev := trace.Default.SampleEvery()
+	defer func() {
+		trace.Default.SetSampleEvery(prev)
+		trace.Default.Reset()
+	}()
+	for _, mode := range []struct {
+		name  string
+		every int64
+	}{
+		{"off", 0},
+		{"sampled", trace.DefaultSampleEvery},
+		{"always", 1},
+	} {
+		b.Run(fmt.Sprintf("trace=%s", mode.name), func(b *testing.B) {
+			trace.Default.SetSampleEvery(mode.every)
+			trace.Default.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := query.Evaluate(q, env.Relations, env.Registry, service.Instant(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(mode.every), "sample-every")
 		})
 	}
 }

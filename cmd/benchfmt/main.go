@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem ./... | benchfmt -o BENCH_2026-08-05.json
+//	go test -bench=. -benchmem ./... | benchfmt -o BENCH_2026-08-05.json \
+//	    -sha "$(git rev-parse HEAD)" -parent BENCH_2026-07-29.json
+//
+// -sha records the commit the numbers were measured at; -parent records the
+// previous report's filename, chaining reports so a regression diff can walk
+// back through history.
 //
 // benchfmt exits non-zero when the input contains no benchmark results or a
 // failed benchmark, so pipelines cannot silently archive empty reports.
@@ -39,6 +44,8 @@ type Benchmark struct {
 // Report is the full JSON document.
 type Report struct {
 	Generated  string      `json:"generated,omitempty"` // RFC 3339 UTC
+	GitSHA     string      `json:"git_sha,omitempty"`   // commit the numbers were measured at
+	Parent     string      `json:"parent,omitempty"`    // previous report file, for regression diffing
 	GoOS       string      `json:"goos,omitempty"`
 	GoArch     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
@@ -123,6 +130,8 @@ func Parse(r io.Reader) (*Report, error) {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	goVersion := flag.String("go", "", "go version string to record (default: this binary's)")
+	sha := flag.String("sha", "", "git commit SHA to record in the report")
+	parent := flag.String("parent", "", "previous report file to record, linking reports into a chain")
 	flag.Parse()
 
 	rep, err := Parse(os.Stdin)
@@ -138,6 +147,8 @@ func main() {
 	if *goVersion != "" {
 		rep.GoVersion = *goVersion
 	}
+	rep.GitSHA = *sha
+	rep.Parent = *parent
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {

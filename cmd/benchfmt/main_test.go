@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -63,6 +64,36 @@ func TestParseRecordsFailures(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("Failed = %v, want BenchmarkBroken", rep.Failed)
+	}
+}
+
+func TestReportProvenanceJSON(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.GitSHA = "deadbeef"
+	rep.Parent = "BENCH_2026-07-29.json"
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["git_sha"] != "deadbeef" || got["parent"] != "BENCH_2026-07-29.json" {
+		t.Fatalf("provenance fields = %v / %v", got["git_sha"], got["parent"])
+	}
+
+	// Provenance is optional: empty fields must not appear in the JSON.
+	rep.GitSHA, rep.Parent = "", ""
+	out, err = json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "git_sha") || strings.Contains(string(out), "parent") {
+		t.Fatalf("empty provenance serialized: %s", out)
 	}
 }
 

@@ -7,19 +7,30 @@
 //
 //	pemsd -node sensors -listen 127.0.0.1:7070 -sensors 4 -cameras 0
 //	pemsd -node actuators -listen 127.0.0.1:7071 -messengers email,jabber
+//	pemsd -node sensors -sensors 4 -debug 127.0.0.1:8090
+//
+// With -debug, the node exposes the same observability surface as the core
+// (/metrics, /debug/serena, /debug/vars, /debug/trace, /debug/pprof/*), so
+// a remote invocation can be followed server-side: the wire server resumes
+// the client's trace and its spans land in this node's /debug/trace.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
 	"serena/internal/device"
+	"serena/internal/obs"
 	"serena/internal/service"
+	"serena/internal/trace"
 	"serena/internal/wire"
 )
 
@@ -31,12 +42,21 @@ func main() {
 	messengers := flag.String("messengers", "", "comma-separated messenger refs (e.g. email,jabber)")
 	base := flag.Float64("base", 20, "base temperature for sensors")
 	location := flag.String("location", "lab", "location/area for hosted devices")
+	debugAddr := flag.String("debug", "", "HTTP observability listen address (empty = disabled)")
+	verbose := flag.Bool("v", false, "debug-level logging")
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	reg := service.NewRegistry()
 	for _, p := range device.ScenarioPrototypes() {
 		if err := reg.RegisterPrototype(p); err != nil {
-			log.Fatalf("pemsd: %v", err)
+			fatal(logger, err)
 		}
 	}
 	hosted := 0
@@ -44,14 +64,14 @@ func main() {
 		ref := fmt.Sprintf("%s-sensor%02d", *node, i)
 		s := device.NewSensor(ref, *location, *base, device.WithDailyCycle(3, 1440), device.WithNoise(0.2))
 		if err := reg.Register(s); err != nil {
-			log.Fatalf("pemsd: %v", err)
+			fatal(logger, err)
 		}
 		hosted++
 	}
 	for i := 0; i < *cameras; i++ {
 		ref := fmt.Sprintf("%s-camera%02d", *node, i)
 		if err := reg.Register(device.NewCamera(ref, *location, 7, 0.2)); err != nil {
-			log.Fatalf("pemsd: %v", err)
+			fatal(logger, err)
 		}
 		hosted++
 	}
@@ -62,26 +82,64 @@ func main() {
 				continue
 			}
 			if err := reg.Register(device.NewMessenger(ref, ref)); err != nil {
-				log.Fatalf("pemsd: %v", err)
+				fatal(logger, err)
 			}
 			hosted++
 		}
 	}
 	if hosted == 0 {
-		log.Fatal("pemsd: nothing to host; pass -sensors, -cameras or -messengers")
+		logger.Error("pemsd: nothing to host; pass -sensors, -cameras or -messengers")
+		os.Exit(1)
 	}
 
 	srv := wire.NewServer(*node, reg)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
-		log.Fatalf("pemsd: %v", err)
+		fatal(logger, err)
 	}
+	logger.Info("pemsd: serving", "node", *node, "services", hosted, "addr", addr)
 	fmt.Printf("pemsd: node %q serving %d service(s) on %s\n", *node, hosted, addr)
 	fmt.Printf("pemsd: connect from the core with: serena -connect %s\n", addr)
+
+	if *debugAddr != "" {
+		mux := obs.DebugMux(func(w io.Writer) { writeStatus(w, *node, addr, reg) }, map[string]http.Handler{
+			"/debug/trace": trace.Handler(trace.Default),
+		})
+		hsrv := &http.Server{Addr: *debugAddr, Handler: mux}
+		go func() {
+			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pemsd: debug endpoint failed", "err", err.Error())
+			}
+		}()
+		logger.Info("pemsd: observability endpoint", "addr", *debugAddr)
+		fmt.Printf("pemsd: observability on http://%s/debug/serena\n", *debugAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("pemsd: shutting down")
+	logger.Info("pemsd: shutting down")
 	_ = srv.Close()
+}
+
+// writeStatus renders this node's /debug/serena page: hosted services and
+// the metrics snapshot.
+func writeStatus(w io.Writer, node, addr string, reg *service.Registry) {
+	fmt.Fprintf(w, "serena Local ERM (pemsd)\n========================\n\nnode: %s\nwire: %s\n", node, addr)
+	refs := reg.Refs()
+	sort.Strings(refs)
+	fmt.Fprintf(w, "\nhosted services (%d):\n", len(refs))
+	for _, ref := range refs {
+		svc, err := reg.Lookup(ref)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-24s %s\n", ref, strings.Join(svc.PrototypeNames(), ", "))
+	}
+	fmt.Fprintf(w, "\nmetrics:\n%s", obs.Default.Snapshot().Render())
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("pemsd: fatal", "err", err.Error())
+	os.Exit(1)
 }

@@ -37,6 +37,7 @@ import (
 	"serena/internal/query"
 	"serena/internal/resilience"
 	"serena/internal/schema"
+	"serena/internal/trace"
 	"serena/internal/value"
 	"serena/internal/wire"
 )
@@ -52,18 +53,20 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive failures before a breaker opens")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-state cooldown before a half-open probe")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/serena on this address (e.g. 127.0.0.1:8077)")
+	traceSample := flag.Int64("trace-sample", trace.DefaultSampleEvery, "trace one in N ticks/evaluations (0 disables tracing)")
 	flag.Parse()
 
 	p := pems.New()
 	defer p.Close()
 	p.SetExplainOutput(os.Stdout)
+	p.SetTraceSampling(*traceSample)
 
 	if *metricsAddr != "" {
 		bound, err := p.ServeMetrics(*metricsAddr)
 		if err != nil {
 			log.Fatalf("serena: metrics: %v", err)
 		}
-		fmt.Printf("metrics on http://%s/metrics (debug: /debug/serena)\n", bound)
+		fmt.Printf("metrics on http://%s/metrics (debug: /debug/serena, traces: /debug/trace)\n", bound)
 	}
 
 	if *invokeTimeout > 0 {
@@ -342,6 +345,9 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
   .breakers                       show circuit-breaker states (-breakers)
   .explain <query>                show the optimized plan and rewrite steps
   .stats [query]                  show continuous-query invocation statistics
+  .trace <query>                  run a one-shot query with tracing forced, show span tree
+  .lineage <query|""> [key]       list retained invocations feeding a query / touching a tuple
+  .sample <n>                     trace one in n ticks/evaluations (0 = off)
   .metrics                        dump the process-wide metrics registry
   .dump                           print the environment as re-executable DDL
   .quit
@@ -506,6 +512,69 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
 			if acts := q.Actions(); acts != nil && acts.Len() > 0 {
 				fmt.Fprintf(out, "  action set: %s\n", acts)
 			}
+		}
+	case ".trace":
+		src := strings.TrimSpace(strings.TrimPrefix(line, ".trace"))
+		if src == "" {
+			fmt.Fprintln(out, "usage: .trace <SAL or SELECT query>")
+			break
+		}
+		rep, err := p.TraceOneShot(src)
+		if err != nil {
+			if rep != nil && rep.Tree != "" {
+				fmt.Fprint(out, rep.Tree)
+			}
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprint(out, rep.Tree)
+		printResult(rep.Result, out)
+	case ".lineage":
+		if len(fields) < 2 {
+			fmt.Fprintln(out, `usage: .lineage <query|""> [tuple-key fragment]`)
+			break
+		}
+		queryName := strings.Trim(fields[1], `"`)
+		key := ""
+		if len(fields) > 2 {
+			key = strings.Trim(fields[2], `"`)
+		}
+		entries := p.Lineage(queryName, key)
+		if len(entries) == 0 {
+			fmt.Fprintln(out, "no matching invocations retained (tracing off, or sampled out — see .sample)")
+			break
+		}
+		for _, e := range entries {
+			s := e.Span
+			outcome := "rows=" + s.Attr("rows")
+			if errAttr := s.Attr("error"); errAttr != "" {
+				outcome = "error=" + errAttr
+				if d := s.Attr("degraded"); d != "" {
+					outcome += " degraded=" + d
+				}
+			}
+			instant := e.Instant
+			if instant == "" {
+				instant = "?"
+			}
+			fmt.Fprintf(out, "  instant=%-4s query=%-12s trace=%016x %s[%s] in=%s %s %s\n",
+				instant, e.Query, e.TraceID, s.Attr("bp"), s.Attr("ref"), s.Attr("in"), s.Attr("mode"), outcome)
+		}
+	case ".sample":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: .sample <n>  (0 disables tracing, 1 traces everything)")
+			break
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || n < 0 {
+			fmt.Fprintln(out, "usage: .sample <n>  (n >= 0)")
+			break
+		}
+		p.SetTraceSampling(n)
+		if n == 0 {
+			fmt.Fprintln(out, "tracing disabled")
+		} else {
+			fmt.Fprintf(out, "tracing one in %d ticks/evaluations\n", n)
 		}
 	case ".metrics":
 		fmt.Fprint(out, obs.Default.Snapshot().Render())

@@ -9,9 +9,12 @@
 package cq
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"serena/internal/algebra"
@@ -21,6 +24,7 @@ import (
 	"serena/internal/schema"
 	"serena/internal/service"
 	"serena/internal/stream"
+	"serena/internal/trace"
 	"serena/internal/value"
 )
 
@@ -380,13 +384,24 @@ func (e *Executor) Tick() (service.Instant, error) {
 	start := time.Now()
 	e.now++
 	at := e.now
+	// The head-sampling decision for the whole tick: a sampled tick gets a
+	// root span; everything below (query evals, operators, β tuples, wire
+	// round trips) records as its descendants. An unsampled tick threads a
+	// nil span and every instrumentation site below degrades to a nil check.
+	tick := trace.Default.StartRoot("cq.tick")
+	tick.SetAttrInt("instant", int64(at))
+	defer tick.Finish()
 	for _, src := range e.sources {
 		if err := src(at); err != nil {
+			tick.SetAttr("error", err.Error())
+			e.logTickError(tick, at, "", err)
 			return at, fmt.Errorf("cq: source at instant %d: %w", at, err)
 		}
 	}
 	for _, name := range e.order {
-		if err := e.evalQuery(e.queries[name], at); err != nil {
+		if err := e.evalQuery(e.queries[name], at, tick); err != nil {
+			tick.SetAttr("error", err.Error())
+			e.logTickError(tick, at, name, err)
 			return at, fmt.Errorf("cq: query %q at instant %d: %w", name, at, err)
 		}
 	}
@@ -395,6 +410,19 @@ func (e *Executor) Tick() (service.Instant, error) {
 	obsTicks.Inc()
 	obsTickLatency.Observe(time.Since(start))
 	return at, nil
+}
+
+// logTickError emits a structured log line for a failed tick, correlated
+// with the tick's span when the tick is sampled (trace_id/span_id attrs let
+// the operator jump from the log line to /debug/trace).
+func (e *Executor) logTickError(tick *trace.Span, at service.Instant, queryName string, err error) {
+	attrs := append(tick.LogAttrs(),
+		slog.Int64("instant", int64(at)),
+		slog.String("err", err.Error()))
+	if queryName != "" {
+		attrs = append(attrs, slog.String("query", queryName))
+	}
+	slog.LogAttrs(context.Background(), slog.LevelError, "cq: tick failed", attrs...)
 }
 
 // recordLag publishes, per infinite XD-Relation, how many instants behind
@@ -423,10 +451,14 @@ func (e *Executor) RunUntil(at service.Instant) error {
 	return nil
 }
 
-// evalQuery evaluates one query at one instant (lock held).
-func (e *Executor) evalQuery(q *Query, at service.Instant) error {
+// evalQuery evaluates one query at one instant (lock held). tick is the
+// enclosing tick span (nil when the tick is unsampled).
+func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span) error {
 	ctx := query.NewContext(schemaEnv{e}, e.reg, at)
 	ctx.Parallelism = e.parallelism
+	qspan := tick.Child("cq.query")
+	qspan.SetAttr("query", q.name)
+	ctx.Span = qspan
 	ev := &evaluator{exec: e, q: q, ctx: ctx, at: at}
 	// The query's degradation policy decides what β does with a failing
 	// device; continuous queries default to SkipTuple so one flaky sensor
@@ -446,8 +478,12 @@ func (e *Executor) evalQuery(q *Query, at service.Instant) error {
 	obsQueryEvals.Inc()
 	obsQueryEvalTime.Observe(time.Since(evalStart))
 	if err != nil {
+		qspan.SetAttr("error", err.Error())
+		qspan.Finish()
 		return err
 	}
+	qspan.SetAttrInt("rows", int64(res.Len()))
+	qspan.Finish()
 	q.lastRes = res
 	q.stats.Active += ctx.Stats.Active
 	q.stats.Passive += ctx.Stats.Passive
@@ -536,7 +572,12 @@ func (ev *evaluator) eval(n query.Node) (*algebra.XRelation, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown relation %q", base.Name)
 		}
+		span := ev.ctx.Span.Child("cq.window")
+		span.SetAttr("stream", base.Name)
+		span.SetAttrInt("period", int64(t.Period))
 		tuples := x.InsertedIn(ev.at-service.Instant(t.Period), ev.at)
+		span.SetAttrInt("rows", int64(len(tuples)))
+		span.Finish()
 		return algebra.New(x.Schema(), tuples)
 
 	case *query.Stream:
@@ -570,6 +611,11 @@ func (ev *evaluator) eval(n query.Node) (*algebra.XRelation, error) {
 			}
 		}
 		sortTuples(emit)
+		if span := ev.ctx.Span.Child("cq.stream"); span != nil {
+			span.SetAttr("kind", t.Kind.String())
+			span.SetAttrInt("emitted", int64(len(emit)))
+			span.Finish()
+		}
 		return algebra.New(child.Schema(), emit)
 
 	case *query.Invoke:
@@ -681,7 +727,27 @@ func (ev *evaluator) evalInvokeDelta(node *query.Invoke, child *algebra.XRelatio
 	// outputs depend only on that triple, and a persisting operand tuple
 	// produces the same triple at every instant, so it is never re-invoked.
 	cachingInvoker := &deltaInvoker{ev: ev, cache: cache, next: next}
+
+	// On a sampled tick, wrap the operator in a "cq.invoke" span and make
+	// it the parent of the per-tuple β spans for the duration of the call
+	// (evaluation walks the plan sequentially, so swapping ctx.Span is
+	// safe; parallel per-tuple invocations only read it).
+	opSpan := ev.ctx.Span.Child("cq.invoke")
+	if opSpan != nil {
+		opSpan.SetAttr("bp", bp.ID())
+		saved := ev.ctx.Span
+		ev.ctx.Span = opSpan
+		defer func() { ev.ctx.Span = saved }()
+	}
 	out, err := algebra.Invoke(child, bp, cachingInvoker)
+	if opSpan != nil {
+		opSpan.SetAttrInt("cache_hits", cachingInvoker.hits.Load())
+		opSpan.SetAttrInt("cache_misses", cachingInvoker.misses.Load())
+		if err != nil {
+			opSpan.SetAttr("error", err.Error())
+		}
+		opSpan.Finish()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -697,6 +763,11 @@ type deltaInvoker struct {
 	mu    sync.Mutex
 	cache map[string][]value.Tuple // previous instant
 	next  map[string][]value.Tuple // being built for this instant
+	// Per-operator-call cache effectiveness, reported as attributes on the
+	// sampled "cq.invoke" operator span (atomics: tuples may invoke in
+	// parallel).
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // MaxParallel implements algebra.ParallelInvoker (inherited from the
@@ -711,15 +782,18 @@ func (d *deltaInvoker) Invoke(bp schema.BindingPattern, ref string, input value.
 		d.next[key] = rows
 		d.mu.Unlock()
 		obsDeltaHits.Inc()
+		d.hits.Add(1)
 		return rows, nil
 	}
 	if rows, ok := d.next[key]; ok {
 		d.mu.Unlock()
 		obsDeltaHits.Inc()
+		d.hits.Add(1)
 		return rows, nil
 	}
 	d.mu.Unlock()
 	obsDeltaMisses.Inc()
+	d.misses.Add(1)
 	skipped := new(bool)
 	rows, err := d.ev.ctx.InvokeTracked(bp, ref, input, skipped)
 	if err != nil {

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the debug HTTP mux shared by every serena process that
+// exposes an observability endpoint (the PEMS metrics server, pemsd's
+// -debug listener). Routes:
+//
+//	/metrics        JSON snapshot of every counter, gauge, and histogram
+//	/debug/serena   human-readable status written by the status callback
+//	/debug/vars     standard expvar JSON (includes the "serena" variable)
+//	/debug/pprof/*  net/http/pprof profiles (explicitly wired: this is a
+//	                private mux, not http.DefaultServeMux)
+//
+// extra mounts additional handlers by path (e.g. /debug/trace); a nil
+// status yields a minimal placeholder page.
+func DebugMux(status func(io.Writer), extra map[string]http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(Default.Snapshot())
+	})
+	mux.HandleFunc("/debug/serena", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if status != nil {
+			status(w)
+			return
+		}
+		_, _ = io.WriteString(w, "serena\n======\n\nmetrics:\n"+Default.Snapshot().Render())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for path, h := range extra {
+		mux.Handle(path, h)
+	}
+	return mux
+}

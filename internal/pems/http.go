@@ -2,8 +2,6 @@ package pems
 
 import (
 	"context"
-	"encoding/json"
-	"expvar"
 	"fmt"
 	"io"
 	"net"
@@ -13,14 +11,18 @@ import (
 	"time"
 
 	"serena/internal/obs"
+	"serena/internal/trace"
 )
 
 // ServeMetrics starts an HTTP observability endpoint on addr (e.g.
-// "127.0.0.1:0" to pick a free port) and returns the bound address. Routes:
+// "127.0.0.1:0" to pick a free port) and returns the bound address. Routes
+// (the same obs.DebugMux layout pemsd's -debug listener uses):
 //
-//	/metrics       JSON snapshot of every counter, gauge, and histogram
-//	/debug/serena  human-readable status: clock, queries, breakers, metrics
-//	/debug/vars    standard expvar JSON (includes the "serena" variable)
+//	/metrics        JSON snapshot of every counter, gauge, and histogram
+//	/debug/serena   human-readable status: clock, queries, breakers, metrics
+//	/debug/vars     standard expvar JSON (includes the "serena" variable)
+//	/debug/trace    retained invocation traces as JSON (?trace_id=, ?limit=)
+//	/debug/pprof/*  net/http/pprof profiles
 //
 // The server is stopped by Close. Starting a second server on the same
 // PEMS errors.
@@ -35,11 +37,7 @@ func (p *PEMS) ServeMetrics(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", p.handleMetrics)
-	mux.HandleFunc("/debug/serena", p.handleDebug)
-	mux.Handle("/debug/vars", expvar.Handler())
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: p.DebugHandler()}
 	go func() { _ = srv.Serve(ln) }()
 	p.mu.Lock()
 	p.metricsShutdown = func() {
@@ -51,17 +49,16 @@ func (p *PEMS) ServeMetrics(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// handleMetrics serves the machine-readable metrics snapshot.
-func (p *PEMS) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(obs.Default.Snapshot())
+// DebugHandler returns the observability mux ServeMetrics serves, for
+// embedding into an existing HTTP server or an httptest harness.
+func (p *PEMS) DebugHandler() http.Handler {
+	return obs.DebugMux(p.writeStatus, map[string]http.Handler{
+		"/debug/trace": trace.Handler(trace.Default),
+	})
 }
 
-// handleDebug serves the human-readable status page.
-func (p *PEMS) handleDebug(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+// writeStatus renders the human-readable status page (/debug/serena).
+func (p *PEMS) writeStatus(w io.Writer) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serena PEMS\n===========\n\nclock instant: %d\n", p.Now())
 

@@ -10,6 +10,7 @@ package pems
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -206,9 +207,11 @@ func (p *PEMS) ExecuteDDL(src string) error {
 			err = p.catalog.Execute(st, at)
 		}
 		if err != nil {
+			slog.Error("pems: ddl statement failed", "statement", i+1, "err", err.Error())
 			return fmt.Errorf("pems: statement %d: %w", i+1, err)
 		}
 	}
+	slog.Debug("pems: ddl script executed", "statements", len(stmts), "at", int64(at))
 	return nil
 }
 
@@ -544,8 +547,11 @@ func (p *PEMS) StartTicker(interval time.Duration, onErr func(error)) error {
 			case <-stop:
 				return
 			case <-t.C:
-				if _, err := p.Tick(); err != nil && onErr != nil {
-					onErr(err)
+				if _, err := p.Tick(); err != nil {
+					slog.Error("pems: ticker tick failed", "err", err.Error())
+					if onErr != nil {
+						onErr(err)
+					}
 				}
 				p.SweepExpiredNodes()
 			}

@@ -1,0 +1,88 @@
+package pems
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+
+	"serena/internal/query"
+	"serena/internal/sal"
+	"serena/internal/ssql"
+	"serena/internal/trace"
+)
+
+// InvocationTrace is the outcome of a .trace run: the forced end-to-end
+// trace of one query evaluation, with its rendered span tree (tick-less
+// one-shot root, per-tuple β spans, wire round trips, server-side spans
+// when the environment is distributed).
+type InvocationTrace struct {
+	TraceID uint64
+	Tree    string
+	Result  *query.Result
+}
+
+// TraceOneShot evaluates a one-shot query (SAL or Serena SQL,
+// auto-detected) with tracing FORCED for this evaluation, regardless of the
+// sampling period — the user asked for this query. Active invocations fire
+// for real, exactly like OneShot.
+func (p *PEMS) TraceOneShot(src string) (*InvocationTrace, error) {
+	env := p.snapshotEnv()
+	var n query.Node
+	trimmed := strings.TrimSpace(src)
+	if LooksLikeSQL(trimmed) {
+		st, err := ssql.Compile(trimmed, env)
+		if err != nil {
+			return nil, err
+		}
+		n = st.Root
+	} else {
+		var err error
+		n, err = sal.Parse(trimmed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	at := p.exec.Now()
+	if at < 0 {
+		at = 0
+	}
+	ctx := query.NewContext(p.Env(at), p.registry, at)
+	ctx.Parallelism = p.invocationParallelism()
+	root := trace.Default.ForceRoot("query.eval")
+	root.SetAttrInt("instant", int64(at))
+	ctx.Span = root
+	res, evalErr := query.EvaluateCtx(n, ctx)
+	if evalErr != nil {
+		root.SetAttr("error", evalErr.Error())
+	}
+	root.Finish()
+	slog.LogAttrs(context.Background(), slog.LevelDebug, "pems: traced one-shot evaluation",
+		append(root.LogAttrs(), slog.Int64("instant", int64(at)))...)
+	out := &InvocationTrace{
+		TraceID: root.TraceID,
+		Tree:    trace.RenderTree(trace.Default.TraceSpans(root.TraceID)),
+		Result:  res,
+	}
+	if evalErr != nil {
+		// A failed evaluation still carries a partial trace (the error is
+		// annotated on the span that raised it); hand both back.
+		return out, fmt.Errorf("pems: traced evaluation: %w", evalErr)
+	}
+	return out, nil
+}
+
+// Lineage reports every retained β invocation that fed the named continuous
+// query (or "oneshot" evaluations) and touched the given tuple-key fragment
+// — the realized counterpart of the query's action set (Definition 8).
+// Empty strings match everything on that axis.
+func (p *PEMS) Lineage(queryName, key string) []trace.LineageEntry {
+	return trace.Default.Lineage(queryName, key, trace.SpanInvoke)
+}
+
+// SetTraceSampling sets the process-wide head-sampling period: 0 disables
+// tracing, 1 traces every tick/evaluation, n traces one in n.
+func (p *PEMS) SetTraceSampling(every int64) {
+	trace.Default.SetSampleEvery(every)
+	slog.Debug("pems: trace sampling changed", "every", every)
+}

@@ -12,6 +12,7 @@ import (
 	"serena/internal/resilience"
 	"serena/internal/schema"
 	"serena/internal/service"
+	"serena/internal/trace"
 	"serena/internal/value"
 )
 
@@ -187,6 +188,15 @@ type Context struct {
 	// Values < 2 mean sequential.
 	Parallelism int
 
+	// Span is the enclosing trace span for this evaluation (nil when the
+	// evaluation is unsampled — the common case). When set, every β
+	// invocation records a per-tuple child span carrying the binding
+	// pattern, service reference, input tuple and realized outcome, and
+	// the span rides the context.Context down to the registry and across
+	// the wire. All span operations are nil-safe, so the unsampled hot
+	// path pays one pointer check per tuple.
+	Span *trace.Span
+
 	// Stats counts invocations actually reaching services.
 	Stats InvokeStats
 
@@ -244,30 +254,52 @@ func (c *Context) Invoke(bp schema.BindingPattern, ref string, input value.Tuple
 // executor's delta cache) must not remember such results, so the tuple is
 // retried at the next instant.
 func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input value.Tuple, skipped *bool) ([]value.Tuple, error) {
+	var span *trace.Span
+	if c.Span != nil { // sampled evaluation: record this tuple's β span
+		span = c.Span.Child(trace.SpanInvoke)
+		span.SetAttr("bp", bp.ID())
+		span.SetAttr("ref", ref)
+		span.SetAttr("in", input.String())
+	}
 	if bp.Active() {
 		c.Actions.Add(Action{BP: bp.ID(), Ref: ref, Input: input.Clone()})
 		c.bump(&c.Stats.Active)
-		rows, err := c.Registry.InvokeCtx(c.ctx(), bp.Proto.Name, ref, input, c.At)
+		span.SetAttr("mode", "active")
+		rows, err := c.Registry.InvokeCtx(trace.ContextWith(c.ctx(), span), bp.Proto.Name, ref, input, c.At)
 		if err != nil {
-			return c.invokeFailed(bp, ref, input, err, skipped)
+			return c.invokeFailed(bp, ref, input, err, skipped, span)
 		}
+		c.finishInvokeSpan(span, rows)
 		return rows, nil
 	}
 	if c.Memo != nil {
 		if rows, ok := c.Memo.Get(bp.Proto.Name, ref, input); ok {
 			c.bump(&c.Stats.Memoized)
+			span.SetAttr("mode", "memoized")
+			c.finishInvokeSpan(span, rows)
 			return rows, nil
 		}
 	}
-	rows, err := c.Registry.InvokeCtx(c.ctx(), bp.Proto.Name, ref, input, c.At)
+	span.SetAttr("mode", "passive")
+	rows, err := c.Registry.InvokeCtx(trace.ContextWith(c.ctx(), span), bp.Proto.Name, ref, input, c.At)
 	if err != nil {
-		return c.invokeFailed(bp, ref, input, err, skipped)
+		return c.invokeFailed(bp, ref, input, err, skipped, span)
 	}
 	c.bump(&c.Stats.Passive)
 	if c.Memo != nil {
 		c.Memo.Put(bp.Proto.Name, ref, input, rows)
 	}
+	c.finishInvokeSpan(span, rows)
 	return rows, nil
+}
+
+// finishInvokeSpan stamps a successful β span with its row count.
+func (c *Context) finishInvokeSpan(span *trace.Span, rows []value.Tuple) {
+	if span == nil {
+		return
+	}
+	span.SetAttrInt("rows", int64(len(rows)))
+	span.Finish()
 }
 
 // PublishObsStats flushes this context's invocation statistics into the
@@ -313,11 +345,14 @@ func (c *Context) bump(counter *int64) {
 // realizes the virtual attributes as unknown. Skipped/null-filled results
 // must never be cached across instants — the tuple is retried at the next
 // one (*skipped signals that to the continuous executor's delta cache).
-func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value.Tuple, err error, skipped *bool) ([]value.Tuple, error) {
+func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value.Tuple, err error, skipped *bool, span *trace.Span) ([]value.Tuple, error) {
+	span.SetAttr("error", err.Error())
+	defer span.Finish()
 	if c.Degradation == resilience.Default {
 		// Legacy contract: no collector → fail fast; a collector decides
 		// by its return value (nil = skip the tuple).
 		if c.OnInvokeError == nil {
+			span.SetAttr("degraded", "failfast")
 			return nil, err
 		}
 		c.statsMu.Lock()
@@ -325,9 +360,12 @@ func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value
 		c.statsMu.Unlock()
 		if policyErr == nil {
 			obsQueryDegraded.Inc()
+			span.SetAttr("degraded", "skip")
 			if skipped != nil {
 				*skipped = true
 			}
+		} else {
+			span.SetAttr("degraded", "abort")
 		}
 		return nil, policyErr
 	}
@@ -338,18 +376,21 @@ func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value
 		policyErr := c.OnInvokeError(bp, ref, input, err)
 		c.statsMu.Unlock()
 		if policyErr != nil {
+			span.SetAttr("degraded", "abort")
 			return nil, policyErr
 		}
 	}
 	switch c.Degradation {
 	case resilience.SkipTuple:
 		obsQueryDegraded.Inc()
+		span.SetAttr("degraded", "skip")
 		if skipped != nil {
 			*skipped = true
 		}
 		return nil, nil
 	case resilience.NullFill:
 		obsQueryDegraded.Inc()
+		span.SetAttr("degraded", "nullfill")
 		if skipped != nil {
 			*skipped = true
 		}
@@ -359,6 +400,7 @@ func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value
 		}
 		return []value.Tuple{row}, nil
 	default: // resilience.FailFast
+		span.SetAttr("degraded", "failfast")
 		return nil, err
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"serena/internal/algebra"
 	"serena/internal/service"
+	"serena/internal/trace"
 )
 
 // Result bundles one evaluation's output: the resulting X-Relation, the
@@ -23,8 +24,18 @@ func Evaluate(q Node, env Environment, reg *service.Registry, at service.Instant
 }
 
 // EvaluateCtx runs a one-shot query with a caller-prepared context (custom
-// error policy, invocation parallelism, disabled memo, …).
+// error policy, invocation parallelism, disabled memo, …). When the caller
+// did not install a span, the head-sampling decision is made here: a sampled
+// one-shot evaluation gets a "query.eval" root so its β invocations appear
+// in the trace ring alongside continuous-query ticks.
 func EvaluateCtx(q Node, ctx *Context) (*Result, error) {
+	if ctx.Span == nil && trace.Default.Active() {
+		if root := trace.Default.StartRoot("query.eval"); root != nil {
+			root.SetAttrInt("instant", int64(ctx.At))
+			ctx.Span = root
+			defer root.Finish()
+		}
+	}
 	rel, err := q.Eval(ctx)
 	ctx.PublishObsStats()
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"serena/internal/obs"
 	"serena/internal/resilience"
+	"serena/internal/trace"
 	"serena/internal/value"
 )
 
@@ -182,8 +183,16 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 	// .metrics.
 	nCall := im.calls.Next()
 	sampleLatency := nCall == 1 || nCall&7 == 0
+	// The enclosing β span, when this evaluation is sampled. The Active()
+	// gate keeps the untraced hot path to one atomic load — no ctx.Value
+	// walk, no interface assertion.
+	var span *trace.Span
+	if trace.Default.Active() {
+		span = trace.FromContext(ctx)
+	}
 	var rows []value.Tuple
 	var lastErr error
+	tried := 0
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			if err := resilience.SleepCtx(ctx, retry.Backoff(attempt-1, proto+"|"+ref)); err != nil {
@@ -194,8 +203,10 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 		}
 		if breakers != nil && !breakers.Allow(ref) {
 			obsInvokeShortCirc.Inc()
+			span.SetAttr("breaker", "open")
 			return nil, fmt.Errorf("service: invoke %s on %s: %w", proto, ref, resilience.ErrOpen)
 		}
+		tried++
 		var start time.Time
 		if sampleLatency {
 			start = time.Now()
@@ -215,6 +226,9 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 		if ctx.Err() != nil {
 			break
 		}
+	}
+	if tried > 1 {
+		span.SetAttrInt("attempts", int64(tried))
 	}
 	if lastErr != nil {
 		obsInvokeFailures.Inc()

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RenderTree formats one trace's spans as an indented tree with per-span
+// timing and attributes — the shell's .trace output. Spans whose parent is
+// missing from the slice (evicted from the ring, or recorded by another
+// process) render as additional roots.
+func RenderTree(spans []*Span) string {
+	if len(spans) == 0 {
+		return "(no spans recorded)\n"
+	}
+	byID := make(map[uint64]*Span, len(spans))
+	children := make(map[uint64][]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	var roots []*Span
+	for _, s := range spans {
+		if s.ParentID != 0 {
+			if _, ok := byID[s.ParentID]; ok {
+				children[s.ParentID] = append(children[s.ParentID], s)
+				continue
+			}
+		}
+		roots = append(roots, s)
+	}
+	order := func(ss []*Span) {
+		sort.Slice(ss, func(i, j int) bool {
+			if !ss[i].Start.Equal(ss[j].Start) {
+				return ss[i].Start.Before(ss[j].Start)
+			}
+			return ss[i].SpanID < ss[j].SpanID
+		})
+	}
+	order(roots)
+	for _, kids := range children {
+		order(kids)
+	}
+	var b strings.Builder
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		fmt.Fprintf(&b, "%s%-*s %8s", strings.Repeat("  ", depth), 24-2*depth, s.Name, s.Dur.Round(time.Microsecond))
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+		for _, c := range children[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for i, r := range roots {
+		if i == 0 {
+			fmt.Fprintf(&b, "trace %016x (%d span(s))\n", r.TraceID, len(spans))
+		}
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+// LineageEntry is one β invocation that touched a tuple: the lineage view
+// of Definition 8's action sets, enriched with when it ran and what came of
+// it.
+type LineageEntry struct {
+	TraceID uint64
+	Instant string // from the enclosing tick/eval root, "" if unknown
+	Query   string // enclosing continuous query or "oneshot"
+	Span    *Span  // the β span itself
+}
+
+// Lineage scans the tracer's retained spans for β invocations (spans named
+// spanName) whose attributes reference both the given query/relation name
+// and the given tuple key fragment, resolving each hit's enclosing query
+// and instant by walking the parent chain. Empty query or key match
+// everything — `.lineage temperatures ""` lists every retained invocation
+// feeding that relation. Results are in start order.
+func (t *Tracer) Lineage(query, key, spanName string) []LineageEntry {
+	spans := t.Snapshot()
+	byID := make(map[uint64]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	var out []LineageEntry
+	for _, s := range spans {
+		if s.Name != spanName {
+			continue
+		}
+		if key != "" && !strings.Contains(s.Attr("in"), key) && !strings.Contains(s.Attr("ref"), key) {
+			continue
+		}
+		entry := LineageEntry{TraceID: s.TraceID, Query: "oneshot", Span: s}
+		for p := byID[s.ParentID]; p != nil; p = byID[p.ParentID] {
+			if q := p.Attr("query"); q != "" {
+				entry.Query = q
+			}
+			if at := p.Attr("instant"); at != "" {
+				entry.Instant = at
+			}
+			if p.ParentID == 0 {
+				break
+			}
+		}
+		if query != "" && entry.Query != query {
+			continue
+		}
+		out = append(out, entry)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Span.Start.Before(out[j].Span.Start) })
+	return out
+}
+
+// spanJSON is the wire shape of one span on /debug/trace.
+type spanJSON struct {
+	TraceID string            `json:"trace_id"`
+	SpanID  string            `json:"span_id"`
+	Parent  string            `json:"parent_id,omitempty"`
+	Name    string            `json:"name"`
+	Start   time.Time         `json:"start"`
+	DurNS   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+type traceJSON struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []spanJSON `json:"spans"`
+}
+
+type dumpJSON struct {
+	SampleEvery int64       `json:"sample_every"`
+	Traces      []traceJSON `json:"traces"`
+}
+
+// Handler serves the tracer's retained spans as JSON, grouped by trace,
+// newest trace first. Query parameter trace_id (hex) filters to one trace;
+// limit bounds the number of traces returned (default 50).
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spans := t.Snapshot()
+		var filter uint64
+		if q := r.URL.Query().Get("trace_id"); q != "" {
+			id, err := strconv.ParseUint(q, 16, 64)
+			if err != nil {
+				http.Error(w, "trace: bad trace_id (want hex)", http.StatusBadRequest)
+				return
+			}
+			filter = id
+		}
+		limit := 50
+		if q := r.URL.Query().Get("limit"); q != "" {
+			if n, err := strconv.Atoi(q); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		grouped := make(map[uint64][]*Span)
+		var order []uint64 // trace IDs by first appearance (ring is oldest-first)
+		for _, s := range spans {
+			if filter != 0 && s.TraceID != filter {
+				continue
+			}
+			if _, seen := grouped[s.TraceID]; !seen {
+				order = append(order, s.TraceID)
+			}
+			grouped[s.TraceID] = append(grouped[s.TraceID], s)
+		}
+		dump := dumpJSON{SampleEvery: t.SampleEvery(), Traces: []traceJSON{}}
+		// Newest traces first.
+		for i := len(order) - 1; i >= 0 && len(dump.Traces) < limit; i-- {
+			id := order[i]
+			tj := traceJSON{TraceID: fmt.Sprintf("%016x", id)}
+			for _, s := range grouped[id] {
+				sj := spanJSON{
+					TraceID: fmt.Sprintf("%016x", s.TraceID),
+					SpanID:  fmt.Sprintf("%016x", s.SpanID),
+					Name:    s.Name,
+					Start:   s.Start,
+					DurNS:   int64(s.Dur),
+				}
+				if s.ParentID != 0 {
+					sj.Parent = fmt.Sprintf("%016x", s.ParentID)
+				}
+				if len(s.Attrs) > 0 {
+					sj.Attrs = make(map[string]string, len(s.Attrs))
+					for _, a := range s.Attrs {
+						sj.Attrs[a.Key] = a.Value
+					}
+				}
+				tj.Spans = append(tj.Spans, sj)
+			}
+			dump.Traces = append(dump.Traces, tj)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(dump)
+	})
+}

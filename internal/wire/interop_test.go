@@ -1,0 +1,158 @@
+package wire_test
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"serena/internal/trace"
+	"serena/internal/value"
+	"serena/internal/wire"
+)
+
+// legacyRequest is the Version-1 request shape: no Ver and no trace-context
+// fields. gob matches fields by name, so this stands in for a peer built
+// before protocol version 2.
+type legacyRequest struct {
+	ID    uint64
+	Op    string
+	Proto string
+	Ref   string
+	Input []wire.Value
+	At    int64
+}
+
+// TestOldClientNewServer sends a pre-versioning request (no Ver, no trace
+// context) straight at a current server: gob leaves the unknown fields at
+// their zero values, TraceID 0 means "not traced", and the invocation must
+// succeed untraced.
+func TestOldClientNewServer(t *testing.T) {
+	addr, _, _ := startNode(t)
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(legacyRequest{ID: 1, Op: "invoke", Proto: "getTemperature", Ref: "sensor01", At: 3}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var resp wire.Response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 1 || resp.Err != "" {
+		t.Fatalf("legacy invoke failed: %+v", resp)
+	}
+	if len(resp.Rows) != 1 {
+		t.Fatalf("rows = %v", resp.Rows)
+	}
+}
+
+// TestNewClientOldServer drives a current client (tracing forced on, so the
+// request carries Ver and trace context) against a legacy server that
+// decodes into the V1 request shape: gob drops the fields it does not know
+// and the round trip still works.
+func TestNewClientOldServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := gob.NewDecoder(conn)
+		enc := gob.NewEncoder(conn)
+		for {
+			var req legacyRequest
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			if req.Op != "invoke" || req.Proto != "getTemperature" {
+				_ = enc.Encode(wire.Response{ID: req.ID, Err: "unexpected request"})
+				continue
+			}
+			_ = enc.Encode(wire.Response{ID: req.ID, Rows: [][]wire.Value{
+				{wire.EncodeValue(value.NewReal(21.5))},
+			}})
+		}
+	}()
+
+	// Force tracing so the client stamps trace context on every request.
+	prev := trace.Default.SampleEvery()
+	trace.Default.SetSampleEvery(1)
+	defer trace.Default.SetSampleEvery(prev)
+
+	c, err := wire.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	root := trace.Default.ForceRoot("test.root")
+	ctx := trace.ContextWith(t.Context(), root)
+	rows, err := c.InvokeCtx(ctx, "getTemperature", "sensor01", nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Real() != 21.5 {
+		t.Fatalf("rows = %v", rows)
+	}
+	root.Finish()
+}
+
+// TestTracePropagatesOverWire asserts the tentpole wire behavior: a traced
+// client-side invocation and the server-side execution share ONE trace ID,
+// with the server span parented on the client's round-trip span.
+func TestTracePropagatesOverWire(t *testing.T) {
+	addr, _, _ := startNode(t)
+	prev := trace.Default.SampleEvery()
+	trace.Default.SetSampleEvery(1)
+	defer func() {
+		trace.Default.SetSampleEvery(prev)
+		trace.Default.Reset()
+	}()
+	trace.Default.Reset()
+
+	c, err := wire.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	root := trace.Default.ForceRoot("test.root")
+	ctx := trace.ContextWith(t.Context(), root)
+	if _, err := c.InvokeCtx(ctx, "getTemperature", "sensor01", nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	root.Finish()
+
+	spans := trace.Default.TraceSpans(root.Trace())
+	var roundtrip, server *trace.Span
+	for _, s := range spans {
+		switch s.Name {
+		case "wire.roundtrip":
+			roundtrip = s
+		case "wire.server":
+			server = s
+		}
+	}
+	if roundtrip == nil || server == nil {
+		t.Fatalf("missing spans in trace: %v", spans)
+	}
+	if roundtrip.ParentID != root.SpanID {
+		t.Fatalf("roundtrip parent = %x, want root %x", roundtrip.ParentID, root.SpanID)
+	}
+	if server.TraceID != root.TraceID || server.ParentID != roundtrip.SpanID {
+		t.Fatalf("server span not linked: trace %x parent %x, want trace %x parent %x",
+			server.TraceID, server.ParentID, root.TraceID, roundtrip.SpanID)
+	}
+	if server.Attr("node") != "node-A" || server.Attr("proto") != "getTemperature" {
+		t.Fatalf("server span attrs: %v", server.Attrs)
+	}
+}

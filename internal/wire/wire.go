@@ -24,8 +24,17 @@ import (
 	"serena/internal/obs"
 	"serena/internal/resilience"
 	"serena/internal/service"
+	"serena/internal/trace"
 	"serena/internal/value"
 )
+
+// Version is the wire protocol version stamped on every request. Version 2
+// added the trace-context fields (Ver, TraceID, SpanID). Interop is
+// bidirectional without negotiation because gob ignores fields the receiver
+// does not know and zero-values fields the sender did not write: a v1 server
+// sees a v2 request as a v1 request, and a v2 server sees a v1 request with
+// TraceID 0 — the "not traced" sentinel.
+const Version = 2
 
 // Wire metrics: round-trip latency and outcome counters, plus connection
 // churn (dials cover both the first connect and every redial).
@@ -116,6 +125,8 @@ func DecodeTuple(ws []Value) (value.Tuple, error) {
 type Request struct {
 	// ID correlates the response on a multiplexed connection.
 	ID uint64
+	// Ver is the sender's protocol version (0 from pre-versioning peers).
+	Ver int
 	// Op is "invoke" or "describe".
 	Op string
 	// Invoke fields.
@@ -123,6 +134,11 @@ type Request struct {
 	Ref   string
 	Input []Value
 	At    int64
+	// Trace context (since Version 2): the client's trace and β span IDs,
+	// letting the server record its execution as a child span of the same
+	// trace. 0 means the invocation is not traced.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // ServiceInfo describes one hosted service.
@@ -260,10 +276,21 @@ func (s *Server) handle(req *Request) *Response {
 		if err != nil {
 			return &Response{Err: err.Error()}
 		}
-		rows, err := s.reg.Invoke(req.Proto, req.Ref, input, service.Instant(req.At))
+		// Resume the client's trace (nil when the invocation is unsampled
+		// or the peer predates trace propagation): the server-side
+		// execution records as a child of the client's round-trip span.
+		span := trace.Default.StartRemote("wire.server", req.TraceID, req.SpanID)
+		span.SetAttr("node", s.node)
+		span.SetAttr("proto", req.Proto)
+		span.SetAttr("ref", req.Ref)
+		rows, err := s.reg.InvokeCtx(trace.ContextWith(context.Background(), span), req.Proto, req.Ref, input, service.Instant(req.At))
 		if err != nil {
+			span.SetAttr("error", err.Error())
+			span.Finish()
 			return &Response{Err: err.Error()}
 		}
+		span.SetAttrInt("rows", int64(len(rows)))
+		span.Finish()
 		resp := &Response{Rows: make([][]Value, len(rows))}
 		for i, row := range rows {
 			resp.Rows[i] = EncodeTuple(row)
@@ -409,13 +436,27 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 // with capped exponential backoff and retry; a timed-out or cancelled
 // request is NOT retried, because it may already have reached the server.
 func (c *Client) roundTripCtx(ctx context.Context, req *Request) (*Response, error) {
+	req.Ver = Version
 	obsWireCalls.Inc()
+	// A sampled invocation gets a round-trip child span and exports its
+	// trace context in the frame, so the server side can resume the trace.
+	var span *trace.Span
+	if trace.Default.Active() {
+		if parent := trace.FromContext(ctx); parent != nil {
+			span = parent.Child("wire.roundtrip")
+			span.SetAttr("addr", c.addr)
+			req.TraceID = span.Trace()
+			req.SpanID = span.ID()
+		}
+	}
 	start := time.Now()
 	resp, err := c.doRoundTripCtx(ctx, req)
 	obsWireLatency.Observe(time.Since(start))
 	if err != nil {
 		obsWireFailures.Inc()
+		span.SetAttr("error", err.Error())
 	}
+	span.Finish()
 	return resp, err
 }
 

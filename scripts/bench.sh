@@ -19,6 +19,16 @@ BENCHTIME="${BENCHTIME:-1s}"
 BENCH="${BENCH:-.}"
 OUT="${OUT:-BENCH_$(date +%F).json}"
 
+# Provenance: the commit being measured, and the most recent earlier report
+# (by mtime) so consecutive reports chain into a diffable history.
+SHA="$(git rev-parse HEAD 2>/dev/null || true)"
+PARENT=""
+for f in $(ls -t BENCH_*.json 2>/dev/null); do
+	[ "$f" = "$OUT" ] && continue
+	PARENT="$f"
+	break
+done
+
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -26,5 +36,6 @@ echo "running benchmarks (bench=$BENCH benchtime=$BENCHTIME)..." >&2
 # -run=^$ skips unit tests; benchmarks only.
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" ./... | tee "$raw" >&2
 
-go run ./cmd/benchfmt -go "$(go version | cut -d' ' -f3)" -o "$OUT" <"$raw"
-echo "wrote $OUT" >&2
+go run ./cmd/benchfmt -go "$(go version | cut -d' ' -f3)" \
+	-sha "$SHA" -parent "$PARENT" -o "$OUT" <"$raw"
+echo "wrote $OUT (sha=${SHA:-unknown} parent=${PARENT:-none})" >&2
