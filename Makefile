@@ -37,11 +37,14 @@ bench:
 experiments:
 	$(GO) run ./cmd/benchrun -exp all
 
-# Quick fuzz pass over the three parsers.
+# Quick fuzz pass over the three parsers and the WAL codec.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/sal/
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/ddl/
 	$(GO) test -fuzz=FuzzCompile -fuzztime=10s ./internal/ssql/
+	$(GO) test -fuzz=FuzzScanFrames -fuzztime=10s ./internal/wal/
+	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/wal/
+	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=10s ./internal/wal/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -8,11 +8,19 @@
 //	pemsd -node sensors -listen 127.0.0.1:7070 -sensors 4 -cameras 0
 //	pemsd -node actuators -listen 127.0.0.1:7071 -messengers email,jabber
 //	pemsd -node sensors -sensors 4 -debug 127.0.0.1:8090
+//	pemsd -node core -sensors 4 -data-dir /var/lib/serena -init env.ddl
 //
 // With -debug, the node exposes the same observability surface as the core
 // (/metrics, /debug/serena, /debug/vars, /debug/trace, /debug/pprof/*), so
 // a remote invocation can be followed server-side: the wire server resumes
 // the client's trace and its spans land in this node's /debug/trace.
+//
+// With -data-dir, the node additionally runs an embedded durable PEMS core
+// over its hosted devices: environment mutations are write-ahead logged and
+// checkpointed in the directory, the continuous clock ticks in real time
+// (-tick), and a restart recovers the environment — continuous queries,
+// window state and the active-invocation ledger included. On SIGTERM the
+// node drains the in-flight tick, writes a final checkpoint and exits 0.
 package main
 
 import (
@@ -26,11 +34,14 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"serena/internal/device"
 	"serena/internal/obs"
+	"serena/internal/pems"
 	"serena/internal/service"
 	"serena/internal/trace"
+	"serena/internal/wal"
 	"serena/internal/wire"
 )
 
@@ -43,6 +54,11 @@ func main() {
 	base := flag.Float64("base", 20, "base temperature for sensors")
 	location := flag.String("location", "lab", "location/area for hosted devices")
 	debugAddr := flag.String("debug", "", "HTTP observability listen address (empty = disabled)")
+	dataDir := flag.String("data-dir", "", "run an embedded durable PEMS core: WAL + checkpoints in this directory")
+	fsyncPolicy := flag.String("fsync", "interval", "WAL fsync policy: always|interval|off (with -data-dir)")
+	ckptEvery := flag.Int("checkpoint-interval", 0, "ticks between automatic checkpoints (0 = default, with -data-dir)")
+	tick := flag.Duration("tick", time.Second, "continuous clock interval of the embedded core (with -data-dir)")
+	initScript := flag.String("init", "", "DDL script executed once, on a fresh data dir (with -data-dir)")
 	verbose := flag.Bool("v", false, "debug-level logging")
 	flag.Parse()
 
@@ -53,7 +69,14 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
+	var core *pems.PEMS
 	reg := service.NewRegistry()
+	if *dataDir != "" {
+		// The embedded core shares one registry with the wire server, so
+		// hosted devices are both remotely invocable and locally queryable.
+		core = pems.New()
+		reg = core.Registry()
+	}
 	for _, p := range device.ScenarioPrototypes() {
 		if err := reg.RegisterPrototype(p); err != nil {
 			fatal(logger, err)
@@ -87,9 +110,15 @@ func main() {
 			hosted++
 		}
 	}
-	if hosted == 0 {
+	if hosted == 0 && core == nil {
 		logger.Error("pemsd: nothing to host; pass -sensors, -cameras or -messengers")
 		os.Exit(1)
+	}
+
+	if core != nil {
+		if err := startCore(logger, core, *dataDir, *fsyncPolicy, *ckptEvery, *tick, *initScript); err != nil {
+			fatal(logger, err)
+		}
 	}
 
 	srv := wire.NewServer(*node, reg)
@@ -119,7 +148,53 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	logger.Info("pemsd: shutting down")
+	if core != nil {
+		// Close stops the ticker — waiting out the in-flight tick and its β
+		// invocations (bounded by the configured invocation deadline) — then
+		// writes a final checkpoint and closes the WAL, so the next start
+		// recovers without replaying any log.
+		core.Close()
+		logger.Info("pemsd: final checkpoint written", "dir", *dataDir)
+	}
 	_ = srv.Close()
+}
+
+// startCore enables durability on the embedded PEMS, recovers the
+// environment from the data directory, runs the init script on a fresh
+// directory, and starts the real-time clock.
+func startCore(logger *slog.Logger, core *pems.PEMS, dataDir, fsyncPolicy string, ckptEvery int, tick time.Duration, initScript string) error {
+	pol, err := wal.ParseSyncPolicy(fsyncPolicy)
+	if err != nil {
+		return err
+	}
+	if err := core.EnableDurability(dataDir, wal.Options{Fsync: pol, CheckpointEvery: ckptEvery}); err != nil {
+		return err
+	}
+	info, err := core.Recover()
+	if err != nil {
+		return err
+	}
+	logger.Info("pemsd: recovered", "dir", dataDir, "fresh", info.Fresh,
+		"checkpoint_at", int64(info.CheckpointAt), "segments", info.Segments,
+		"records", info.Records, "ticks", info.Ticks, "orphans", info.Orphans,
+		"truncated_bytes", info.TruncatedBytes)
+	if initScript != "" {
+		if info.Fresh {
+			src, err := os.ReadFile(initScript)
+			if err != nil {
+				return err
+			}
+			if err := core.ExecuteDDL(string(src)); err != nil {
+				return fmt.Errorf("init script %s: %w", initScript, err)
+			}
+			logger.Info("pemsd: init script executed", "script", initScript)
+		} else {
+			logger.Info("pemsd: init script skipped (environment recovered)", "script", initScript)
+		}
+	}
+	return core.StartTicker(tick, func(err error) {
+		logger.Error("pemsd: tick failed", "err", err.Error())
+	})
 }
 
 // writeStatus renders this node's /debug/serena page: hosted services and

@@ -39,8 +39,13 @@ import (
 	"serena/internal/schema"
 	"serena/internal/trace"
 	"serena/internal/value"
+	"serena/internal/wal"
 	"serena/internal/wire"
 )
+
+// lastRecovery holds the startup recovery summary for the .recovery
+// dot-command (nil when -data-dir is not in use).
+var lastRecovery *wal.Info
 
 func main() {
 	demo := flag.Bool("demo", false, "load the paper's temperature-surveillance scenario")
@@ -54,6 +59,9 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-state cooldown before a half-open probe")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/serena on this address (e.g. 127.0.0.1:8077)")
 	traceSample := flag.Int64("trace-sample", trace.DefaultSampleEvery, "trace one in N ticks/evaluations (0 disables tracing)")
+	dataDir := flag.String("data-dir", "", "enable durability: WAL + checkpoints in this directory")
+	fsyncPolicy := flag.String("fsync", "interval", "WAL fsync policy: always|interval|off (with -data-dir)")
+	ckptEvery := flag.Int("checkpoint-interval", 0, "ticks between automatic checkpoints (0 = default, with -data-dir)")
 	flag.Parse()
 
 	p := pems.New()
@@ -85,6 +93,16 @@ func main() {
 		})
 	}
 
+	if *dataDir != "" {
+		pol, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("serena: %v", err)
+		}
+		if err := p.EnableDurability(*dataDir, wal.Options{Fsync: pol, CheckpointEvery: *ckptEvery}); err != nil {
+			log.Fatalf("serena: durability: %v", err)
+		}
+	}
+
 	if err := p.ExecuteDDL(prototypesDDL); err != nil {
 		log.Fatalf("serena: %v", err)
 	}
@@ -99,22 +117,51 @@ func main() {
 			}
 		}
 	}
+	// Code registrations (devices, poll streams) must precede Recover: live
+	// implementations win over checkpoint stubs, and restored relation state
+	// needs its relations to exist.
 	if *demo {
-		if err := loadDemo(p); err != nil {
+		if err := loadDemoServices(p); err != nil {
 			log.Fatalf("serena: demo: %v", err)
 		}
-		fmt.Println("demo scenario loaded: relations contacts, cameras, surveillance, sensors; stream temperatures")
-		fmt.Println(`try: invoke[getTemperature](select[location = "office"](sensors))`)
+	}
+	fresh := true
+	if *dataDir != "" {
+		info, err := p.Recover()
+		if err != nil {
+			log.Fatalf("serena: recovery: %v", err)
+		}
+		lastRecovery = &info
+		fresh = info.Fresh
+		if !fresh {
+			fmt.Printf("recovered environment from %s: checkpoint at instant %d, %d record(s) replayed over %d tick(s), %d orphan invocation(s)\n",
+				*dataDir, info.CheckpointAt, info.Records, info.Ticks, info.Orphans)
+		}
+	}
+	if *demo {
+		if fresh {
+			if err := p.ExecuteDDL(demoDDL); err != nil {
+				log.Fatalf("serena: demo: %v", err)
+			}
+			fmt.Println("demo scenario loaded: relations contacts, cameras, surveillance, sensors; stream temperatures")
+			fmt.Println(`try: invoke[getTemperature](select[location = "office"](sensors))`)
+		} else {
+			fmt.Println("demo devices re-registered; scenario tables restored from the data dir")
+		}
 	}
 	if *script != "" {
-		src, err := os.ReadFile(*script)
-		if err != nil {
-			log.Fatalf("serena: %v", err)
+		if fresh {
+			src, err := os.ReadFile(*script)
+			if err != nil {
+				log.Fatalf("serena: %v", err)
+			}
+			if err := p.ExecuteDDL(string(src)); err != nil {
+				log.Fatalf("serena: script: %v", err)
+			}
+			fmt.Printf("executed %s\n", *script)
+		} else {
+			fmt.Printf("skipped %s (environment recovered from the data dir)\n", *script)
 		}
-		if err := p.ExecuteDDL(string(src)); err != nil {
-			log.Fatalf("serena: script: %v", err)
-		}
-		fmt.Printf("executed %s\n", *script)
 	}
 
 	repl(p, os.Stdin, os.Stdout)
@@ -176,8 +223,11 @@ INSERT INTO sensors VALUES
 INSERT INTO surveillance VALUES ("Carla", "office"), ("Nicolas", "corridor"), ("Francois", "roof");
 `
 
-// loadDemo registers the paper's nine devices and the scenario tables.
-func loadDemo(p *pems.PEMS) error {
+// loadDemoServices registers the paper's nine devices and the temperatures
+// poll stream — the code half of the demo, re-run on every start (service
+// implementations and poll streams live in code, not in checkpoints). The
+// DDL half (demoDDL) runs only on a fresh environment.
+func loadDemoServices(p *pems.PEMS) error {
 	sensors := map[string]*device.Sensor{}
 	for _, s := range []struct {
 		ref, loc string
@@ -204,9 +254,6 @@ func loadDemo(p *pems.PEMS) error {
 		if err := p.Registry().Register(device.NewCamera(c.ref, c.area, c.q, 0.2)); err != nil {
 			return err
 		}
-	}
-	if err := p.ExecuteDDL(demoDDL); err != nil {
-		return err
 	}
 	_, err := p.AddPollStream("temperatures", "getTemperature", "sensor",
 		[]schema.Attribute{{Name: "location", Type: value.String}},
@@ -350,6 +397,8 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
   .sample <n>                     trace one in n ticks/evaluations (0 = off)
   .metrics                        dump the process-wide metrics registry
   .dump                           print the environment as re-executable DDL
+  .checkpoint                     force a durable snapshot now (-data-dir)
+  .recovery                       show the startup recovery summary (-data-dir)
   .quit
 `)
 	case ".tick":
@@ -576,6 +625,28 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
 		} else {
 			fmt.Fprintf(out, "tracing one in %d ticks/evaluations\n", n)
 		}
+	case ".checkpoint":
+		if err := p.Checkpoint(); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintf(out, "checkpoint written (%s) at instant %d\n", p.WAL().Dir(), p.Now())
+	case ".recovery":
+		if lastRecovery == nil {
+			fmt.Fprintln(out, "durability not enabled (start with -data-dir)")
+			break
+		}
+		r := lastRecovery
+		if r.Fresh {
+			fmt.Fprintln(out, "fresh data dir: nothing to recover")
+			break
+		}
+		fmt.Fprintf(out, "checkpoint:      %v (at instant %d)\n", r.HadCheckpoint, r.CheckpointAt)
+		fmt.Fprintf(out, "segments:        %d\n", r.Segments)
+		fmt.Fprintf(out, "records:         %d replayed\n", r.Records)
+		fmt.Fprintf(out, "ticks:           %d re-evaluated\n", r.Ticks)
+		fmt.Fprintf(out, "orphans:         %d active invocation(s) pinned, never re-fired\n", r.Orphans)
+		fmt.Fprintf(out, "truncated bytes: %d (damaged tail discarded)\n", r.TruncatedBytes)
 	case ".metrics":
 		fmt.Fprint(out, obs.Default.Snapshot().Render())
 	case ".dump":

@@ -68,7 +68,10 @@ func demoPEMS(t *testing.T) *pems.PEMS {
 	if err := p.ExecuteDDL(prototypesDDL); err != nil {
 		t.Fatal(err)
 	}
-	if err := loadDemo(p); err != nil {
+	if err := loadDemoServices(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ExecuteDDL(demoDDL); err != nil {
 		t.Fatal(err)
 	}
 	return p

@@ -39,6 +39,10 @@ type Catalog struct {
 	reg     *service.Registry
 	rels    map[string]*stream.XDRelation
 	factory ServiceFactory
+	// ddlServices remembers SERVICE … IMPLEMENTS … declarations (ref →
+	// prototype names) so a schema dump can re-declare them; code-registered
+	// services are not recorded — their owners re-register them on restart.
+	ddlServices map[string][]string
 
 	// OnCreateRelation, when set, is notified of every new XD-Relation
 	// (the PEMS wires this to the continuous executor).
@@ -49,7 +53,12 @@ type Catalog struct {
 
 // New returns an empty catalog over the given registry.
 func New(reg *service.Registry) *Catalog {
-	return &Catalog{reg: reg, rels: make(map[string]*stream.XDRelation), factory: stubFactory}
+	return &Catalog{
+		reg:         reg,
+		rels:        make(map[string]*stream.XDRelation),
+		factory:     stubFactory,
+		ddlServices: make(map[string][]string),
+	}
 }
 
 // SetServiceFactory overrides how SERVICE declarations are materialized.
@@ -104,7 +113,13 @@ func (c *Catalog) Execute(st ddl.Statement, at service.Instant) error {
 		if err != nil {
 			return fmt.Errorf("catalog: service %s: %w", t.Ref, err)
 		}
-		return c.reg.Register(svc)
+		if err := c.reg.Register(svc); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.ddlServices[t.Ref] = append([]string(nil), t.Prototypes...)
+		c.mu.Unlock()
+		return nil
 
 	case *ddl.CreateRelation:
 		sch, err := c.buildSchema(t)

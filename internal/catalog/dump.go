@@ -3,6 +3,7 @@ package catalog
 import (
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -59,6 +60,44 @@ func (c *Catalog) Dump() string {
 	return b.String()
 }
 
+// DumpSchema renders the schema half of the catalog only — prototypes,
+// SERVICE declarations made through DDL (code-registered services are the
+// embedder's to restore), and relation declarations, with no INSERT
+// statements. Checkpoints use it: relation data rides in the executor
+// snapshot, so dumping it twice would double-apply on recovery.
+func (c *Catalog) DumpSchema() string {
+	var b strings.Builder
+	b.WriteString("-- Serena schema dump\n")
+	for _, p := range c.reg.Prototypes() {
+		b.WriteString(p.String())
+		b.WriteString("\n")
+	}
+	c.mu.RLock()
+	refs := make([]string, 0, len(c.ddlServices))
+	for ref := range c.ddlServices {
+		refs = append(refs, ref)
+	}
+	sort.Strings(refs)
+	for _, ref := range refs {
+		fmt.Fprintf(&b, "SERVICE %s IMPLEMENTS %s;\n", ref, strings.Join(c.ddlServices[ref], ", "))
+	}
+	c.mu.RUnlock()
+	b.WriteString("\n")
+	for _, name := range c.Names() {
+		x, err := c.Relation(name)
+		if err != nil {
+			continue
+		}
+		b.WriteString(relationDDL(x))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RelationDDL renders one relation's declaration in the same re-executable
+// form Dump emits (the WAL logs it for replay).
+func RelationDDL(x *stream.XDRelation) string { return relationDDL(x) }
+
 // relationDDL renders one relation declaration, using EXTENDED STREAM for
 // infinite XD-Relations.
 func relationDDL(x *stream.XDRelation) string {
@@ -97,13 +136,16 @@ func valueLiteral(v value.Value) string {
 		}
 		return s
 	case value.String:
-		return strconv.Quote(v.Str())
+		// value.Quote emits only lexer-understood escapes; strconv.Quote
+		// would render e.g. "\x01" as characters the lexer reads back as
+		// 'x', '0', '1' — a lossy round trip.
+		return value.Quote(v.Str())
 	case value.Service:
 		ref := v.ServiceRef()
 		if isIdentifier(ref) {
 			return ref // bare identifiers parse back as service refs
 		}
-		return strconv.Quote(ref) // STRING literal; Conforms coerces to SERVICE
+		return value.Quote(ref) // STRING literal; Conforms coerces to SERVICE
 	case value.Blob:
 		return "0x" + hex.EncodeToString(v.Blob())
 	}

@@ -6,6 +6,7 @@ import (
 
 	"serena/internal/catalog"
 	"serena/internal/paperenv"
+	"serena/internal/service"
 	"serena/internal/value"
 )
 
@@ -78,5 +79,58 @@ func TestDumpRoundTrip(t *testing.T) {
 	// Dump of the restored catalog is stable.
 	if c2.Dump() != dump {
 		t.Fatal("dump not idempotent across restore")
+	}
+}
+
+// TestDumpRoundTripActiveAndControlChars proves the dump text alone — no
+// pre-registered prototypes — carries the ACTIVE flag of binding-pattern
+// prototypes and survives hostile string contents (newlines, tabs, control
+// bytes, quotes, backslashes).
+func TestDumpRoundTripActiveAndControlChars(t *testing.T) {
+	c := newCatalog(t)
+	if err := c.ExecuteScript(`EXTENDED RELATION weird ( note STRING );`, 0); err != nil {
+		t.Fatal(err)
+	}
+	weird, _ := c.Relation("weird")
+	hostile := "line1\nline2\ttab \x01 \"quoted\" back\\slash"
+	if err := weird.Insert(0, value.Tuple{value.NewString(hostile)}); err != nil {
+		t.Fatal(err)
+	}
+	dump := c.Dump()
+	if !strings.Contains(dump, "ACTIVE") {
+		t.Fatalf("dump lost the ACTIVE prototype flag:\n%s", dump)
+	}
+
+	// Restore into a completely empty registry: everything — prototypes,
+	// their active flags, service stubs — must come from the dump text.
+	reg2 := service.NewRegistry()
+	c2 := catalog.New(reg2)
+	if err := c2.ExecuteScript(dump, 0); err != nil {
+		t.Fatalf("restoring dump into empty registry failed: %v\n%s", err, dump)
+	}
+	send, err := reg2.Prototype("sendMessage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !send.Active {
+		t.Fatal("ACTIVE flag lost through dump/restore")
+	}
+	temp, err := reg2.Prototype("getTemperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temp.Active {
+		t.Fatal("passive prototype became active through dump/restore")
+	}
+	w2, _ := c2.Relation("weird")
+	rows := w2.Current()
+	if len(rows) != 1 || rows[0][0].Str() != hostile {
+		t.Fatalf("control-character string mangled: %q", rows[0][0].Str())
+	}
+	// Binding patterns survive the text round-trip.
+	orig, _ := c.Relation("contacts")
+	restored, _ := c2.Relation("contacts")
+	if !restored.Schema().Equal(orig.Schema()) {
+		t.Fatal("binding patterns lost through dump/restore")
 	}
 }

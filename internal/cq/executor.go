@@ -55,6 +55,11 @@ type Executor struct {
 	// maxWindow tracks, per stream name, the largest window period any
 	// registered query uses — the retention horizon for log trimming.
 	maxWindow map[string]service.Instant
+	// dur, when set, write-ahead-logs tick boundaries, base-relation events
+	// and active-β intents/results (see durable.go).
+	dur Durability
+	// onCheckpoint persists a state snapshot when dur reports one is due.
+	onCheckpoint func(CheckpointState) error
 }
 
 // Source is a data producer pumped at the start of every tick, before
@@ -90,6 +95,9 @@ func (e *Executor) AddRelation(x *stream.XDRelation) error {
 		return fmt.Errorf("cq: relation %q already registered", x.Name())
 	}
 	e.rels[x.Name()] = x
+	if e.dur != nil {
+		e.dur.AttachRelation(x)
+	}
 	return nil
 }
 
@@ -133,6 +141,14 @@ type Query struct {
 
 	invCache   map[*query.Invoke]map[string][]value.Tuple
 	streamPrev map[*query.Stream]map[string]value.Tuple
+
+	// Plan nodes with cross-instant state, in DFS preorder. The indexes give
+	// invoke and stream nodes a stable identity that survives a restart (the
+	// checkpointed plan text re-parses to the same shape), letting WAL
+	// records and snapshots address them by position.
+	invNodes    []*query.Invoke
+	invIdx      map[*query.Invoke]int
+	streamNodes []*query.Stream
 
 	stats   query.InvokeStats
 	actions *query.ActionSet
@@ -238,6 +254,7 @@ func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
 		streamPrev: map[*query.Stream]map[string]value.Tuple{},
 		actions:    query.NewActionSet(),
 	}
+	q.indexPlanNodes()
 	e.queries[name] = q
 	e.order = append(e.order, name)
 	e.recordWindows(plan)
@@ -247,6 +264,26 @@ func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
 	// downstream consumer sees the producer's output for the same instant.
 	e.rels[name] = out
 	return q, nil
+}
+
+// indexPlanNodes assigns every invoke and stream node its DFS-preorder
+// index (durable node identity for WAL records and checkpoints).
+func (q *Query) indexPlanNodes() {
+	q.invIdx = map[*query.Invoke]int{}
+	var walk func(n query.Node)
+	walk = func(n query.Node) {
+		switch t := n.(type) {
+		case *query.Invoke:
+			q.invIdx[t] = len(q.invNodes)
+			q.invNodes = append(q.invNodes, t)
+		case *query.Stream:
+			q.streamNodes = append(q.streamNodes, t)
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(q.plan)
 }
 
 // SetDegradation selects a registered query's β failure policy:
@@ -391,6 +428,13 @@ func (e *Executor) Tick() (service.Instant, error) {
 	tick := trace.Default.StartRoot("cq.tick")
 	tick.SetAttrInt("instant", int64(at))
 	defer tick.Finish()
+	if e.dur != nil {
+		if err := e.dur.BeginTick(at); err != nil {
+			tick.SetAttr("error", err.Error())
+			e.logTickError(tick, at, "", err)
+			return at, fmt.Errorf("cq: wal begin at instant %d: %w", at, err)
+		}
+	}
 	for _, src := range e.sources {
 		if err := src(at); err != nil {
 			tick.SetAttr("error", err.Error())
@@ -399,13 +443,28 @@ func (e *Executor) Tick() (service.Instant, error) {
 		}
 	}
 	for _, name := range e.order {
-		if err := e.evalQuery(e.queries[name], at, tick); err != nil {
+		if err := e.evalQuery(e.queries[name], at, tick, nil); err != nil {
 			tick.SetAttr("error", err.Error())
 			e.logTickError(tick, at, name, err)
 			return at, fmt.Errorf("cq: query %q at instant %d: %w", name, at, err)
 		}
 	}
 	e.trimStreams(at)
+	if e.dur != nil {
+		due, err := e.dur.CommitTick(at)
+		if err != nil {
+			tick.SetAttr("error", err.Error())
+			e.logTickError(tick, at, "", err)
+			return at, fmt.Errorf("cq: wal commit at instant %d: %w", at, err)
+		}
+		if due && e.onCheckpoint != nil {
+			if err := e.onCheckpoint(e.snapshotLocked()); err != nil {
+				// Non-fatal: the log still covers everything; retried at the
+				// next due tick.
+				slog.Warn("cq: checkpoint failed", "instant", int64(at), "err", err.Error())
+			}
+		}
+	}
 	e.recordLag(at)
 	obsTicks.Inc()
 	obsTickLatency.Observe(time.Since(start))
@@ -452,14 +511,16 @@ func (e *Executor) RunUntil(at service.Instant) error {
 }
 
 // evalQuery evaluates one query at one instant (lock held). tick is the
-// enclosing tick span (nil when the tick is unsampled).
-func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span) error {
+// enclosing tick span (nil when the tick is unsampled). replay, non-nil
+// during recovery, carries the tick's logged active-invocation outcomes;
+// live ticks pass nil.
+func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span, replay ReplayLedger) error {
 	ctx := query.NewContext(schemaEnv{e}, e.reg, at)
 	ctx.Parallelism = e.parallelism
 	qspan := tick.Child("cq.query")
 	qspan.SetAttr("query", q.name)
 	ctx.Span = qspan
-	ev := &evaluator{exec: e, q: q, ctx: ctx, at: at}
+	ev := &evaluator{exec: e, q: q, ctx: ctx, at: at, replay: replay}
 	// The query's degradation policy decides what β does with a failing
 	// device; continuous queries default to SkipTuple so one flaky sensor
 	// degrades a standing query to partial results instead of killing it.
@@ -549,6 +610,9 @@ type evaluator struct {
 	q    *Query
 	ctx  *query.Context
 	at   service.Instant
+	// replay is non-nil during recovery: the logged outcomes of this tick's
+	// active invocations, consulted instead of re-firing them.
+	replay ReplayLedger
 }
 
 // eval dispatches on node type. Window, Stream and Invoke get time-aware
@@ -726,7 +790,7 @@ func (ev *evaluator) evalInvokeDelta(node *query.Invoke, child *algebra.XRelatio
 	// caching Invoker. The cache key is (bp, ref, input): the realized
 	// outputs depend only on that triple, and a persisting operand tuple
 	// produces the same triple at every instant, so it is never re-invoked.
-	cachingInvoker := &deltaInvoker{ev: ev, cache: cache, next: next}
+	cachingInvoker := &deltaInvoker{ev: ev, node: node, cache: cache, next: next}
 
 	// On a sampled tick, wrap the operator in a "cq.invoke" span and make
 	// it the parent of the per-tuple β spans for the duration of the call
@@ -760,6 +824,7 @@ func (ev *evaluator) evalInvokeDelta(node *query.Invoke, child *algebra.XRelatio
 // actions — a persisting tuple triggers no new action (Section 4.2).
 type deltaInvoker struct {
 	ev    *evaluator
+	node  *query.Invoke
 	mu    sync.Mutex
 	cache map[string][]value.Tuple // previous instant
 	next  map[string][]value.Tuple // being built for this instant
@@ -794,8 +859,54 @@ func (d *deltaInvoker) Invoke(bp schema.BindingPattern, ref string, input value.
 	d.mu.Unlock()
 	obsDeltaMisses.Inc()
 	d.misses.Add(1)
+
+	ev := d.ev
+	if bp.Active() && ev.replay != nil {
+		if ent, ok := ev.replay[key]; ok {
+			// The action fired (or at least durably intended to) before the
+			// crash: it joins the action set and counts as physical, but is
+			// NEVER re-fired (Definition 8 — recovery must not duplicate
+			// actions on the environment).
+			ev.ctx.Actions.Add(query.Action{BP: bp.ID(), Ref: ref, Input: input.Clone()})
+			ev.ctx.CountActive()
+			if ent.Completed && ent.OK {
+				d.mu.Lock()
+				d.next[key] = ent.Rows
+				d.mu.Unlock()
+				return ent.Rows, nil
+			}
+			// Failed or unknown outcome: behave like an absorbed failure —
+			// contribute no rows and stay uncached, so the live retry at the
+			// next instant (itself in the log) replays identically.
+			return nil, nil
+		}
+		// No ledger entry means the intent never became durable, so the call
+		// never fired live; fall through and fire it for real.
+	}
+
+	logActive := bp.Active() && ev.replay == nil && ev.exec.dur != nil
+	var nodeIdx int
+	if logActive {
+		nodeIdx = ev.q.invIdx[d.node]
+		// Effectful-once: the intent must be durable BEFORE the physical
+		// call. If it cannot be persisted, firing would risk an invisible
+		// duplicate after a crash — abort the invocation instead.
+		if err := ev.exec.dur.ActiveIntent(ev.q.name, nodeIdx, bp.ID(), ref, input, ev.at); err != nil {
+			return nil, fmt.Errorf("durable intent for %s on %s: %w", bp.ID(), ref, err)
+		}
+	}
 	skipped := new(bool)
-	rows, err := d.ev.ctx.InvokeTracked(bp, ref, input, skipped)
+	rows, err := ev.ctx.InvokeTracked(bp, ref, input, skipped)
+	if logActive {
+		ok := err == nil && !*skipped
+		var res []value.Tuple
+		if ok {
+			res = rows
+		}
+		// A failed completion append degrades this call to an orphan intent
+		// on recovery — the safe direction (attempted, never re-fired).
+		_ = ev.exec.dur.ActiveResult(ev.q.name, nodeIdx, bp.ID(), ref, input, ev.at, ok, res)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,7 @@ import (
 	"serena/internal/ssql"
 	"serena/internal/stream"
 	"serena/internal/value"
+	"serena/internal/wal"
 )
 
 // PEMS is one Pervasive Environment Management System instance.
@@ -42,6 +43,7 @@ type PEMS struct {
 	manager  *discovery.Manager
 
 	mu          sync.Mutex
+	wal         *wal.Manager
 	discoRels   []*discoveryRelation
 	feedStates  map[string]*feedState
 	tickerStop  chan struct{}
@@ -90,12 +92,15 @@ func New(opts ...Option) *PEMS {
 }
 
 // Close stops the real-time ticker (if running), discovery, and the HTTP
-// observability endpoint.
+// observability endpoint. With durability enabled it writes a final
+// checkpoint and closes the WAL, so a clean shutdown restarts without any
+// log replay.
 func (p *PEMS) Close() {
 	p.StopTicker()
 	if p.manager != nil {
 		p.manager.Stop()
 	}
+	p.closeDurability()
 	p.mu.Lock()
 	shutdown := p.metricsShutdown
 	p.metricsShutdown = nil
@@ -188,10 +193,11 @@ func (p *PEMS) ExecuteDDL(src string) error {
 	for i, st := range stmts {
 		switch t := st.(type) {
 		case *ddl.RegisterQuery:
+			var q *cq.Query
 			if LooksLikeSQL(t.Source) {
-				_, err = p.RegisterQuerySQL(t.Name, t.Source, true)
+				q, err = p.registerQuerySQL(t.Name, t.Source, true)
 			} else {
-				_, err = p.RegisterQuery(t.Name, t.Source, true)
+				q, err = p.registerQuery(t.Name, t.Source, true)
 			}
 			if err == nil && t.OnError != "" {
 				var policy resilience.DegradationPolicy
@@ -199,12 +205,18 @@ func (p *PEMS) ExecuteDDL(src string) error {
 					err = p.exec.SetDegradation(t.Name, policy)
 				}
 			}
+			if err == nil {
+				// Logged after ON ERROR applies so replay restores the policy.
+				p.logQueryDDL(q)
+			}
 		case *ddl.UnregisterQuery:
-			err = p.exec.Unregister(t.Name)
+			err = p.UnregisterQuery(t.Name)
 		case *ddl.Explain:
 			err = p.runExplain(t)
 		default:
-			err = p.catalog.Execute(st, at)
+			if err = p.catalog.Execute(st, at); err == nil {
+				p.logCatalogDDL(st, at)
+			}
 		}
 		if err != nil {
 			slog.Error("pems: ddl statement failed", "statement", i+1, "err", err.Error())
@@ -252,6 +264,14 @@ func (p *PEMS) OneShotSQL(src string) (*query.Result, error) {
 // continuous query, optionally running the optimizer over the compiled
 // plan.
 func (p *PEMS) RegisterQuerySQL(name, src string, optimize bool) (*cq.Query, error) {
+	q, err := p.registerQuerySQL(name, src, optimize)
+	if err == nil {
+		p.logQueryDDL(q)
+	}
+	return q, err
+}
+
+func (p *PEMS) registerQuerySQL(name, src string, optimize bool) (*cq.Query, error) {
 	env := p.snapshotEnv()
 	st, err := ssql.Compile(src, env)
 	if err != nil {
@@ -271,6 +291,14 @@ func (p *PEMS) RegisterQuerySQL(name, src string, optimize bool) (*cq.Query, err
 // rewrites under the invocation-dominant cost model) and registers it as a
 // continuous query.
 func (p *PEMS) RegisterQuery(name, src string, optimize bool) (*cq.Query, error) {
+	q, err := p.registerQuery(name, src, optimize)
+	if err == nil {
+		p.logQueryDDL(q)
+	}
+	return q, err
+}
+
+func (p *PEMS) registerQuery(name, src string, optimize bool) (*cq.Query, error) {
 	n, err := sal.Parse(src)
 	if err != nil {
 		return nil, err
@@ -509,7 +537,13 @@ func (e pemsEnv) Relation(name string) (*algebra.XRelation, error) {
 }
 
 // UnregisterQuery removes a continuous query.
-func (p *PEMS) UnregisterQuery(name string) error { return p.exec.Unregister(name) }
+func (p *PEMS) UnregisterQuery(name string) error {
+	if err := p.exec.Unregister(name); err != nil {
+		return err
+	}
+	p.logUnregisterDDL(name)
+	return nil
+}
 
 // Tick advances the environment clock one instant.
 func (p *PEMS) Tick() (service.Instant, error) { return p.exec.Tick() }

@@ -333,6 +333,12 @@ func (c *Context) ctx() context.Context {
 // MaxParallel implements algebra.ParallelInvoker.
 func (c *Context) MaxParallel() int { return c.Parallelism }
 
+// CountActive counts one active invocation without performing it — the
+// continuous executor uses it when recovery replays a logged active β from
+// its recorded outcome instead of re-firing it (the physical call DID
+// happen, before the crash).
+func (c *Context) CountActive() { c.bump(&c.Stats.Active) }
+
 func (c *Context) bump(counter *int64) {
 	c.statsMu.Lock()
 	*counter++

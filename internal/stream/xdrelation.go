@@ -43,6 +43,10 @@ type XDRelation struct {
 	lastAt   service.Instant
 	// current multiset (finite relations): tuple key → (tuple, count)
 	current map[string]*entry
+	// onEvent, when set, observes every accepted event in log order (the
+	// durability layer appends them to its write-ahead log). Called with
+	// the relation lock held; the callback must not re-enter the relation.
+	onEvent func(Event)
 }
 
 type entry struct {
@@ -90,12 +94,16 @@ func (x *XDRelation) Insert(at service.Instant, t value.Tuple) error {
 		return fmt.Errorf("stream: %s: event at instant %d before last instant %d", x.Name(), at, x.lastAt)
 	}
 	x.lastAt = at
-	x.events = append(x.events, Event{At: at, Kind: Insert, Tuple: c})
+	ev := Event{At: at, Kind: Insert, Tuple: c}
+	x.events = append(x.events, ev)
 	k := c.Key()
 	if e, ok := x.current[k]; ok {
 		e.count++
 	} else {
 		x.current[k] = &entry{tuple: c, count: 1}
+	}
+	if x.onEvent != nil {
+		x.onEvent(ev)
 	}
 	return nil
 }
@@ -122,10 +130,14 @@ func (x *XDRelation) Delete(at service.Instant, t value.Tuple) error {
 		return fmt.Errorf("stream: %s: deleting absent tuple %s", x.Name(), c)
 	}
 	x.lastAt = at
-	x.events = append(x.events, Event{At: at, Kind: Delete, Tuple: c})
+	ev := Event{At: at, Kind: Delete, Tuple: c}
+	x.events = append(x.events, ev)
 	e.count--
 	if e.count == 0 {
 		delete(x.current, k)
+	}
+	if x.onEvent != nil {
+		x.onEvent(ev)
 	}
 	return nil
 }
@@ -250,4 +262,52 @@ func (x *XDRelation) EventCount() int {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	return len(x.events)
+}
+
+// SetOnEvent installs (or, with nil, removes) the event observer. The
+// callback runs with the relation lock held, in event-log order.
+func (x *XDRelation) SetOnEvent(fn func(Event)) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.onEvent = fn
+}
+
+// Counted is one (tuple, multiplicity) pair of the current multiset, used
+// by checkpoint snapshots.
+type Counted struct {
+	Tuple value.Tuple
+	Count int
+}
+
+// StateSnapshot copies the relation's full durable state: the retained
+// event log, the current multiset, and the last event instant.
+func (x *XDRelation) StateSnapshot() (events []Event, current []Counted, lastAt service.Instant) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	events = append([]Event(nil), x.events...)
+	keys := make([]string, 0, len(x.current))
+	for k := range x.current {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	current = make([]Counted, 0, len(keys))
+	for _, k := range keys {
+		e := x.current[k]
+		current = append(current, Counted{Tuple: e.tuple, Count: e.count})
+	}
+	return events, current, x.lastAt
+}
+
+// RestoreState replaces the relation's state with a snapshot previously
+// taken by StateSnapshot (checkpoint recovery). The snapshot is trusted:
+// tuples were validated when first inserted.
+func (x *XDRelation) RestoreState(events []Event, current []Counted, lastAt service.Instant) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.events = append([]Event(nil), events...)
+	x.current = make(map[string]*entry, len(current))
+	for _, c := range current {
+		x.current[c.Tuple.Key()] = &entry{tuple: c.Tuple, count: c.Count}
+	}
+	x.lastAt = lastAt
 }

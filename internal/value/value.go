@@ -339,11 +339,14 @@ func (v Value) String() string {
 	return "?"
 }
 
-// quoteSAL renders s as a double-quoted SAL string literal using only the
-// escape sequences the SAL lexer understands (\\ \" \n \t); every other
-// byte is emitted verbatim. strconv.Quote is unsuitable here: it emits
-// \xNN / \uNNNN escapes for non-printable or non-UTF-8 content, which the
-// lexer would re-read as the literal characters 'x', 'N', 'N'.
+// Quote renders s as a double-quoted string literal using only the escape
+// sequences the SAL/DDL lexer understands (\\ \" \n \t); every other byte
+// is emitted verbatim. strconv.Quote is unsuitable for anything the lexer
+// re-reads: it emits \xNN / \uNNNN escapes for non-printable or non-UTF-8
+// content, which the lexer would re-read as the literal characters
+// 'x', 'N', 'N' — a lossy round trip.
+func Quote(s string) string { return quoteSAL(s) }
+
 func quoteSAL(s string) string {
 	var b strings.Builder
 	b.Grow(len(s) + 2)

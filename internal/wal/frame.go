@@ -1,0 +1,56 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Frame layout: [4B little-endian payload length][4B little-endian CRC32
+// (IEEE) of the payload][payload]. A frame whose header or checksum does
+// not parse marks the end of the intact prefix: the scanner stops there and
+// recovery truncates, never refusing to start on a torn tail.
+const (
+	frameHeaderSize = 8
+	// maxFramePayload bounds a single record; anything larger in a length
+	// field is treated as corruption rather than an allocation request.
+	maxFramePayload = 64 << 20
+)
+
+// appendFrame appends the framed payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// ScanFrames walks the intact frame prefix of data, calling fn on every
+// payload whose length and checksum verify. It stops at the first partial
+// or corrupt frame — or when fn returns an error (a structurally valid
+// frame holding an undecodable record is corruption too) — and returns the
+// number of bytes consumed by fully-accepted frames. consumed < len(data)
+// therefore means a damaged tail of len(data)-consumed bytes.
+func ScanFrames(data []byte, fn func(payload []byte) error) (consumed int) {
+	off := 0
+	for {
+		if len(data)-off < frameHeaderSize {
+			return off
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxFramePayload || int(n) > len(data)-off-frameHeaderSize {
+			return off
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return off
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return off
+			}
+		}
+		off += frameHeaderSize + int(n)
+	}
+}
