@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz examples fmt vet check clean
+.PHONY: all build test race cover bench bench-check experiments fuzz examples fmt vet check clean
 
 all: build vet test
 
@@ -32,6 +32,14 @@ cover:
 # root (BENCHTIME=10x for a quick pass; see scripts/bench.sh).
 bench:
 	sh scripts/bench.sh
+
+# Regression gate: run the suite into BENCH_check.json, then fail if a
+# gated benchmark (BenchmarkInvoke*/BenchmarkDurableTick) regressed >20%
+# against the previous report. Missing or cross-machine baselines pass
+# with a warning (see cmd/benchfmt -diff).
+bench-check:
+	OUT=BENCH_check.json sh scripts/bench.sh
+	$(GO) run ./cmd/benchfmt -diff BENCH_check.json
 
 # Regenerate the EXPERIMENTS.md tables.
 experiments:

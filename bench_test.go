@@ -634,3 +634,77 @@ func BenchmarkOptimizerPlanning(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Batched invocation pipeline: one remote service invoked with n distinct
+// inputs. Per-tuple dispatch pays one wire round trip per tuple; the batch
+// planner packs the whole fan-out into MaxBatch-bounded frames. The ≥2x
+// win at n ≥ 16 is the acceptance bar for the batching tentpole.
+
+func BenchmarkInvokeBatch(b *testing.B) {
+	proto := schema.MustPrototype("lookup",
+		schema.MustRel(schema.Attribute{Name: "id", Type: value.Int}),
+		schema.MustRel(schema.Attribute{Name: "val", Type: value.Real}), false)
+	remoteReg := service.NewRegistry()
+	if err := remoteReg.RegisterPrototype(proto); err != nil {
+		b.Fatal(err)
+	}
+	err := remoteReg.Register(service.NewFunc("lut", map[string]service.InvokeFunc{
+		"lookup": func(in value.Tuple, _ service.Instant) ([]value.Tuple, error) {
+			return []value.Tuple{{value.NewReal(float64(in[0].Int()))}}, nil
+		},
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := wire.NewServer("node", remoteReg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	_, infos, err := client.Describe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	local := service.NewRegistry()
+	if err := local.RegisterPrototype(proto); err != nil {
+		b.Fatal(err)
+	}
+	for _, info := range infos {
+		if err := local.Register(wire.NewRemote(client, info)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	sch := schema.MustExtended("items", []schema.ExtAttr{
+		{Attribute: schema.Attribute{Name: "svc", Type: value.Service}},
+		{Attribute: schema.Attribute{Name: "id", Type: value.Int}},
+		{Attribute: schema.Attribute{Name: "val", Type: value.Real}, Virtual: true},
+	}, []schema.BindingPattern{{Proto: proto, ServiceAttr: "svc"}})
+
+	for _, n := range []int{4, 16, 64} {
+		rows := make([]value.Tuple, n)
+		for i := 0; i < n; i++ {
+			rows[i] = value.Tuple{value.NewService("lut"), value.NewInt(int64(i))}
+		}
+		env := query.MapEnv{"items": algebra.MustNew(sch, rows)}
+		q := query.NewInvoke(query.NewBase("items"), "lookup", "")
+		run := func(b *testing.B, batchSize int) {
+			for i := 0; i < b.N; i++ {
+				ctx := query.NewContext(env, local, service.Instant(i))
+				ctx.BatchSize = batchSize
+				if _, err := query.EvaluateCtx(q, ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("pertuple/n=%d", n), func(b *testing.B) { run(b, -1) })
+		b.Run(fmt.Sprintf("batch/n=%d", n), func(b *testing.B) { run(b, 0) })
+	}
+}

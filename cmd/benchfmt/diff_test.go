@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func report(benches map[string]float64) *Report {
+	rep := &Report{CPU: "testcpu"}
+	for name, ns := range benches {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, Package: "serena", NsPerOp: ns, Runs: 100})
+	}
+	return rep
+}
+
+func TestDiffFlagsRegressionsPastThreshold(t *testing.T) {
+	keys := regexp.MustCompile(DefaultDiffKeys)
+	base := report(map[string]float64{
+		"BenchmarkInvoke/n=100":          1000,
+		"BenchmarkInvokeBatch/batch":     500,
+		"BenchmarkDurableTick/sensors=8": 2000,
+		"BenchmarkOperators/select":      100, // not gated
+	})
+	cur := report(map[string]float64{
+		"BenchmarkInvoke/n=100":          1100, // +10% → within threshold
+		"BenchmarkInvokeBatch/batch":     800,  // +60% → regression
+		"BenchmarkDurableTick/sensors=8": 2900, // +45% → regression
+		"BenchmarkOperators/select":      1000, // +900% but not gated
+	})
+	regs := Diff(cur, base, keys, 20)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want 2", regs)
+	}
+	// Sorted worst-first.
+	if regs[0].Name != "BenchmarkInvokeBatch/batch" || regs[1].Name != "BenchmarkDurableTick/sensors=8" {
+		t.Fatalf("order = %s, %s", regs[0].Name, regs[1].Name)
+	}
+	if regs[0].DeltaPct < 59 || regs[0].DeltaPct > 61 {
+		t.Fatalf("delta = %.1f, want ~60", regs[0].DeltaPct)
+	}
+}
+
+func TestDiffIgnoresUnmatchedBenchmarks(t *testing.T) {
+	keys := regexp.MustCompile(DefaultDiffKeys)
+	base := report(map[string]float64{"BenchmarkInvoke/old": 100})
+	cur := report(map[string]float64{"BenchmarkInvoke/new": 100000})
+	if regs := Diff(cur, base, keys, 20); len(regs) != 0 {
+		t.Fatalf("benchmark without a baseline flagged: %+v", regs)
+	}
+}
+
+func writeReport(t *testing.T, path string, rep *Report) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	curPath := filepath.Join(dir, "cur.json")
+	writeReport(t, basePath, report(map[string]float64{"BenchmarkInvoke/n=1": 1000}))
+
+	cur := report(map[string]float64{"BenchmarkInvoke/n=1": 1500})
+	cur.Parent = basePath
+	writeReport(t, curPath, cur)
+	if code := runDiff(curPath, "", DefaultDiffKeys, 20); code != 1 {
+		t.Fatalf("50%% regression passed the gate (exit %d)", code)
+	}
+	if code := runDiff(curPath, "", DefaultDiffKeys, 60); code != 0 {
+		t.Fatalf("within-threshold diff failed the gate (exit %d)", code)
+	}
+
+	// Missing baseline: warn and pass.
+	cur.Parent = filepath.Join(dir, "nonexistent.json")
+	writeReport(t, curPath, cur)
+	if code := runDiff(curPath, "", DefaultDiffKeys, 20); code != 0 {
+		t.Fatalf("missing baseline failed the gate (exit %d)", code)
+	}
+
+	// No parent recorded at all: warn and pass.
+	cur.Parent = ""
+	writeReport(t, curPath, cur)
+	if code := runDiff(curPath, "", DefaultDiffKeys, 20); code != 0 {
+		t.Fatalf("parentless report failed the gate (exit %d)", code)
+	}
+
+	// Cross-machine baseline: warn and pass.
+	other := report(map[string]float64{"BenchmarkInvoke/n=1": 1})
+	other.CPU = "another cpu"
+	writeReport(t, basePath, other)
+	if code := runDiff(curPath, basePath, DefaultDiffKeys, 20); code != 0 {
+		t.Fatalf("cross-machine diff failed the gate (exit %d)", code)
+	}
+}

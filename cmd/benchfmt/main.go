@@ -12,6 +12,16 @@
 // previous report's filename, chaining reports so a regression diff can walk
 // back through history.
 //
+// With -diff, benchfmt becomes the regression gate of that chain instead:
+//
+//	benchfmt -diff BENCH_check.json            # against its recorded parent
+//	benchfmt -diff BENCH_check.json -against BENCH_2026-07-29.json
+//
+// It exits non-zero when a gated benchmark (-keys, default the invocation
+// pipeline and durable tick) grew by more than -threshold percent ns/op.
+// A missing baseline or a baseline measured on different hardware warns
+// and passes — the gate never fails on numbers it cannot compare.
+//
 // benchfmt exits non-zero when the input contains no benchmark results or a
 // failed benchmark, so pipelines cannot silently archive empty reports.
 package main
@@ -124,7 +134,31 @@ func Parse(r io.Reader) (*Report, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	rep.Benchmarks = foldRepeats(rep.Benchmarks)
 	return rep, nil
+}
+
+// foldRepeats collapses repeated runs of one benchmark (go test -count=N)
+// into the fastest run, keeping first-appearance order. Minimum ns/op is the
+// standard low-noise estimator on shared machines: every slowdown is
+// interference, so the best observation is the closest to the code's true
+// cost — and it is what keeps the -diff gate from tripping on scheduler
+// noise.
+func foldRepeats(in []Benchmark) []Benchmark {
+	best := make(map[string]int, len(in))
+	out := in[:0]
+	for _, b := range in {
+		k := b.Package + "|" + b.Name
+		if i, ok := best[k]; ok {
+			if b.NsPerOp < out[i].NsPerOp {
+				out[i] = b
+			}
+			continue
+		}
+		best[k] = len(out)
+		out = append(out, b)
+	}
+	return out
 }
 
 func main() {
@@ -132,7 +166,15 @@ func main() {
 	goVersion := flag.String("go", "", "go version string to record (default: this binary's)")
 	sha := flag.String("sha", "", "git commit SHA to record in the report")
 	parent := flag.String("parent", "", "previous report file to record, linking reports into a chain")
+	diff := flag.String("diff", "", "regression-gate mode: diff this report against its parent instead of parsing stdin")
+	against := flag.String("against", "", "baseline report for -diff (default: the report's recorded parent)")
+	threshold := flag.Float64("threshold", 20, "ns/op growth percentage that fails the -diff gate")
+	keys := flag.String("keys", DefaultDiffKeys, "regexp selecting the benchmarks the -diff gate watches")
 	flag.Parse()
+
+	if *diff != "" {
+		os.Exit(runDiff(*diff, *against, *keys, *threshold))
+	}
 
 	rep, err := Parse(os.Stdin)
 	if err != nil {

@@ -47,6 +47,31 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseFoldsRepeatedRunsToFastest(t *testing.T) {
+	in := `pkg: serena
+BenchmarkInvoke/n=10-8   	   300	     22000 ns/op	   11000 B/op	     161 allocs/op
+BenchmarkInvoke/n=10-8   	   300	     14000 ns/op	   10900 B/op	     150 allocs/op
+BenchmarkInvoke/n=10-8   	   300	     19000 ns/op	   10950 B/op	     151 allocs/op
+BenchmarkOther-8         	   100	      5000 ns/op
+PASS
+ok  	serena	1.0s
+`
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 after folding: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkInvoke/n=10" || b.NsPerOp != 14000 || b.AllocsPerOp != 150 {
+		t.Fatalf("folded bench = %+v, want the fastest of the three runs", b)
+	}
+	if rep.Benchmarks[1].Name != "BenchmarkOther" {
+		t.Fatalf("bench[1] = %+v", rep.Benchmarks[1])
+	}
+}
+
 func TestParseRecordsFailures(t *testing.T) {
 	in := sample + "--- FAIL: BenchmarkBroken\nFAIL\nFAIL\tserena/internal/cq\t0.1s\n"
 	rep, err := Parse(strings.NewReader(in))

@@ -48,6 +48,7 @@ import (
 func main() {
 	node := flag.String("node", "node", "node name")
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	batchParallel := flag.Int("batch-parallel", wire.DefaultServerBatchParallelism, "concurrent invocations per wire batch frame (1 = sequential)")
 	sensors := flag.Int("sensors", 0, "number of simulated temperature sensors")
 	cameras := flag.Int("cameras", 0, "number of simulated cameras")
 	messengers := flag.String("messengers", "", "comma-separated messenger refs (e.g. email,jabber)")
@@ -122,6 +123,7 @@ func main() {
 	}
 
 	srv := wire.NewServer(*node, reg)
+	srv.SetBatchParallelism(*batchParallel)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fatal(logger, err)

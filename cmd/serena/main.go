@@ -52,6 +52,9 @@ func main() {
 	script := flag.String("script", "", "DDL script to execute before going interactive")
 	connect := flag.String("connect", "", "comma-separated pemsd addresses to attach")
 	invokeTimeout := flag.Duration("invoke-timeout", 0, "deadline per service invocation (0 = none)")
+	parallel := flag.Int("parallel", 1, "invocation parallelism per β operator (1 = sequential)")
+	queryParallel := flag.Int("query-parallel", 1, "continuous queries evaluated concurrently per tick (1 = sequential)")
+	batchSize := flag.Int("batch-size", 0, "β batch-planner dispatch size (0 = default, negative disables batching)")
 	retries := flag.Int("retries", 1, "max attempts per passive invocation (1 = no retry)")
 	retryBase := flag.Duration("retry-base", 10*time.Millisecond, "base backoff between retries")
 	breakers := flag.Bool("breakers", false, "enable per-service circuit breakers")
@@ -79,6 +82,15 @@ func main() {
 
 	if *invokeTimeout > 0 {
 		p.SetInvocationTimeout(*invokeTimeout)
+	}
+	if *parallel > 1 {
+		p.SetInvocationParallelism(*parallel)
+	}
+	if *queryParallel > 1 {
+		p.SetQueryParallelism(*queryParallel)
+	}
+	if *batchSize != 0 {
+		p.SetInvocationBatchSize(*batchSize)
 	}
 	if *retries > 1 {
 		rp := resilience.DefaultRetry()
@@ -387,6 +399,8 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
   .queries                        list continuous queries
   .services                       list discovered services
   .parallel <n>                   set invocation parallelism (default 1)
+  .qparallel <n>                  set per-tick query parallelism (default 1)
+  .batch <n>                      set β batch size (0 = default, -1 disables)
   .onerror <name> FAIL|SKIP|NULL  set a query's degradation policy
   .errors <name>                  show a query's recorded invocation failures
   .breakers                       show circuit-breaker states (-breakers)
@@ -472,6 +486,37 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
 		}
 		p.SetInvocationParallelism(n)
 		fmt.Fprintf(out, "invocation parallelism set to %d\n", n)
+	case ".qparallel":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: .qparallel <n>")
+			break
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			fmt.Fprintln(out, "usage: .qparallel <n>  (n >= 1)")
+			break
+		}
+		p.SetQueryParallelism(n)
+		fmt.Fprintf(out, "query parallelism set to %d\n", n)
+	case ".batch":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: .batch <n>  (0 = default, negative disables)")
+			break
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "usage: .batch <n>  (0 = default, negative disables)")
+			break
+		}
+		p.SetInvocationBatchSize(n)
+		switch {
+		case n < 0:
+			fmt.Fprintln(out, "invocation batching disabled")
+		case n == 0:
+			fmt.Fprintf(out, "invocation batch size reset to default (%d)\n", query.DefaultBatchSize)
+		default:
+			fmt.Fprintf(out, "invocation batch size set to %d\n", n)
+		}
 	case ".onerror":
 		if len(fields) != 3 {
 			fmt.Fprintln(out, "usage: .onerror <query> FAIL|SKIP|NULL")

@@ -23,6 +23,7 @@ var (
 	obsAssignRows  = obs.Default.Counter("algebra.assign.rows")
 	obsInvokeOps   = obs.Default.Counter("algebra.invoke.calls")
 	obsInvokeJobs  = obs.Default.Counter("algebra.invoke.jobs")
+	obsBatchOps    = obs.Default.Counter("algebra.invoke.batched_calls")
 )
 
 // Invoker abstracts the invocation of a binding pattern on a service for
@@ -348,13 +349,36 @@ func Invoke(r *XRelation, bp schema.BindingPattern, inv Invoker) (*XRelation, er
 			workers = n
 		}
 	}
-	if workers > 1 && len(jobs) > 1 {
+	// Batch dispatch: a BatchInvoker takes the whole work list at once —
+	// the planner behind it dedupes identical (proto, ref, input) pairs,
+	// coalesces concurrent duplicates and groups remote calls per service
+	// into multi-invocation wire frames. Restricted to PASSIVE binding
+	// patterns: an active β job is one action of the Definition 8 action
+	// set, and batching must not change how those fire (active jobs keep
+	// the per-tuple pool below).
+	if bi, ok := inv.(BatchInvoker); ok && !bp.Active() && len(jobs) > 1 && bi.MaxBatch() > 1 {
+		refs := make([]string, len(jobs))
+		inputs := make([]value.Tuple, len(jobs))
+		for i, j := range jobs {
+			refs[i] = j.ref
+			inputs[i] = j.input
+		}
+		obsBatchOps.Inc()
+		brs := bi.InvokeBatch(bp, refs, inputs)
+		for i, br := range brs {
+			if br.Err != nil { // first error in input order aborts
+				return nil, fmt.Errorf("algebra: invoke %s: %w", bp.ID(), br.Err)
+			}
+			results[i] = br.Rows
+		}
+	} else if workers > 1 && len(jobs) > 1 {
 		if workers > len(jobs) {
 			workers = len(jobs)
 		}
 		var (
 			wg       sync.WaitGroup
 			next     int64 = -1
+			failed   atomic.Bool
 			errMu    sync.Mutex
 			firstErr error
 			errIdx   = len(jobs)
@@ -364,6 +388,15 @@ func Invoke(r *XRelation, bp schema.BindingPattern, inv Invoker) (*XRelation, er
 			go func() {
 				defer wg.Done()
 				for {
+					// A fatal error aborts the whole operator, so once one is
+					// recorded no NEW invocation may fire: under FAIL semantics
+					// every extra call is a side effect whose result is
+					// discarded — it would silently grow the Definition 8
+					// action set. Jobs already in flight on other workers run
+					// to completion (they were scheduled before the failure).
+					if failed.Load() {
+						return
+					}
 					i := int(atomic.AddInt64(&next, 1))
 					if i >= len(jobs) {
 						return
@@ -375,7 +408,8 @@ func Invoke(r *XRelation, bp schema.BindingPattern, inv Invoker) (*XRelation, er
 							errIdx, firstErr = i, err
 						}
 						errMu.Unlock()
-						continue
+						failed.Store(true)
+						return
 					}
 					results[i] = rows
 				}
@@ -419,4 +453,24 @@ func Invoke(r *XRelation, bp schema.BindingPattern, inv Invoker) (*XRelation, er
 type ParallelInvoker interface {
 	Invoker
 	MaxParallel() int
+}
+
+// BatchResult is one job's outcome from a batched dispatch: rows on
+// success, or the error the invoker's policy decided to surface (absorbed
+// failures come back as Err == nil with the policy's stand-in rows).
+type BatchResult struct {
+	Rows []value.Tuple
+	Err  error
+}
+
+// BatchInvoker is an optional Invoker extension: InvokeBatch receives the
+// invocation operator's whole work list for one PASSIVE binding pattern and
+// returns positional results (out[i] belongs to (refs[i], inputs[i])).
+// Implementations own deduplication, coalescing and transport batching;
+// MaxBatch() < 2 disables the batch path (the per-tuple pool is used
+// instead — the batching ablation).
+type BatchInvoker interface {
+	Invoker
+	InvokeBatch(bp schema.BindingPattern, refs []string, inputs []value.Tuple) []BatchResult
+	MaxBatch() int
 }

@@ -109,6 +109,8 @@ type ReplayLedger map[string]LedgerEntry
 // the first tick; existing base relations are attached immediately, later
 // ones as they are added.
 func (e *Executor) SetDurability(d Durability) {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.dur = d
@@ -134,8 +136,10 @@ func (e *Executor) OnCheckpoint(fn func(CheckpointState) error) {
 }
 
 // Snapshot captures the executor's full durable state at a consistent
-// point (between ticks).
+// point (between ticks — tickMu excludes a tick mutating it mid-copy).
 func (e *Executor) Snapshot() CheckpointState {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.snapshotLocked()
@@ -158,11 +162,14 @@ func (e *Executor) snapshotLocked() CheckpointState {
 	}
 	for _, name := range e.order {
 		q := e.queries[name]
+		q.mu.Lock()
+		deg, stats := q.degradation, q.stats
+		q.mu.Unlock()
 		qs := QueryState{
 			Name:    name,
 			Source:  q.plan.String(),
-			OnError: q.degradation.String(),
-			Stats:   q.stats,
+			OnError: deg.String(),
+			Stats:   stats,
 			Actions: q.actions.Sorted(),
 		}
 		keys := make([]string, 0, len(q.prevOutput))
@@ -207,6 +214,8 @@ func (e *Executor) snapshotLocked() CheckpointState {
 // relations are skipped with a warning so an embedder that dropped a code
 // relation does not brick recovery.
 func (e *Executor) Restore(st CheckpointState) error {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.now = st.At
@@ -257,7 +266,9 @@ func (e *Executor) Restore(st CheckpointState) error {
 			}
 			prev[se.Tuple.Key()] = se.Tuple
 		}
+		q.mu.Lock()
 		q.stats = qs.Stats
+		q.mu.Unlock()
 		q.actions = query.NewActionSet()
 		for _, a := range qs.Actions {
 			q.actions.Add(a)
@@ -272,25 +283,38 @@ func (e *Executor) Restore(st CheckpointState) error {
 // except that active invocations consult the ledger: logged ones are
 // replayed from their recorded outcome instead of re-firing.
 func (e *Executor) ReplayTick(at service.Instant, ledger ReplayLedger, parent *trace.Span) error {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if at <= e.now {
-		return fmt.Errorf("cq: replay tick %d not after current instant %d", at, e.now)
+		now := e.now
+		e.mu.Unlock()
+		return fmt.Errorf("cq: replay tick %d not after current instant %d", at, now)
 	}
 	// A gap (at > now+1) is fine: the skipped instants were ticks that
 	// failed live without committing — their clock advance is replayed by
 	// AdvanceTo when their orphans are seeded.
 	e.now = at
+	order := append([]string(nil), e.order...)
+	qs := make([]*Query, len(order))
+	for i, name := range order {
+		qs[i] = e.queries[name]
+	}
+	e.mu.Unlock()
 	span := parent.Child("cq.replay.tick")
 	span.SetAttrInt("instant", int64(at))
 	defer span.Finish()
-	for _, name := range e.order {
-		if err := e.evalQuery(e.queries[name], at, span, ledger); err != nil {
+	// Replay stays sequential regardless of query parallelism: recovery
+	// must reproduce the logged tick deterministically.
+	for i, q := range qs {
+		if err := e.evalQuery(q, at, span, ledger); err != nil {
 			span.SetAttr("error", err.Error())
-			return fmt.Errorf("cq: replay query %q at instant %d: %w", name, at, err)
+			return fmt.Errorf("cq: replay query %q at instant %d: %w", order[i], at, err)
 		}
 	}
+	e.mu.Lock()
 	e.trimStreams(at)
+	e.mu.Unlock()
 	return nil
 }
 
@@ -324,7 +348,9 @@ func (e *Executor) SeedActive(queryName string, node int, bp, ref string, input 
 		return
 	}
 	q.actions.Add(query.Action{BP: bp, Ref: ref, Input: input.Clone()})
+	q.mu.Lock()
 	q.stats.Active++
+	q.mu.Unlock()
 	if completed && !ok {
 		return
 	}

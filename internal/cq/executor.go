@@ -42,7 +42,16 @@ var (
 
 // Executor owns a set of dynamic relations and registered continuous
 // queries, and advances them over a shared discrete clock.
+//
+// Locking: tickMu serializes whole ticks (live and replay) and every
+// structural mutation that must not interleave with one (Register,
+// Unregister, AddRelation, SetDurability, Restore, Snapshot). mu guards the
+// executor's fields for brief reads and writes only — readers like Query,
+// QueryNames and the metrics pollers take mu alone, so they observe
+// consistent state without blocking for a whole tick. Lock order is always
+// tickMu before mu, never the reverse.
 type Executor struct {
+	tickMu  sync.Mutex
 	mu      sync.Mutex
 	reg     *service.Registry
 	rels    map[string]*stream.XDRelation
@@ -52,6 +61,12 @@ type Executor struct {
 	now     service.Instant
 	// parallelism bounds concurrent invocations per invocation operator.
 	parallelism int
+	// queryParallelism bounds how many independent queries one tick
+	// evaluates concurrently (1 = sequential, the default).
+	queryParallelism int
+	// batchSize bounds the invocation batch planner's dispatch chunks
+	// (0 = query.DefaultBatchSize, negative disables batching).
+	batchSize int
 	// maxWindow tracks, per stream name, the largest window period any
 	// registered query uses — the retention horizon for log trimming.
 	maxWindow map[string]service.Instant
@@ -89,6 +104,8 @@ func (e *Executor) AddRelation(x *stream.XDRelation) error {
 	if x.Name() == "" {
 		return fmt.Errorf("cq: relation needs a named schema")
 	}
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.rels[x.Name()]; dup {
@@ -116,6 +133,25 @@ func (e *Executor) SetParallelism(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.parallelism = n
+}
+
+// SetQueryParallelism bounds how many registered queries one tick evaluates
+// concurrently (default 1 = sequential). Queries reading another query's
+// output relation always run after their producer — see stageQueries — so
+// derived views keep their same-instant semantics.
+func (e *Executor) SetQueryParallelism(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queryParallelism = n
+}
+
+// SetBatchSize bounds the invocation batch planner's dispatch chunks: 0
+// restores query.DefaultBatchSize, negative disables batching entirely
+// (per-tuple invocation, the pre-batching behavior).
+func (e *Executor) SetBatchSize(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.batchSize = n
 }
 
 // AddSource registers a producer pumped at each tick before evaluation.
@@ -150,13 +186,17 @@ type Query struct {
 	invIdx      map[*query.Invoke]int
 	streamNodes []*query.Stream
 
+	// mu guards the accessor-visible state below, so Stats/LastResult/
+	// InvokeErrors readers never race the tick writing them (and never
+	// block on the tick lock). actions is internally synchronized.
+	mu      sync.Mutex
 	stats   query.InvokeStats
 	actions *query.ActionSet
 	lastRes *algebra.XRelation
 	invErrs []query.InvokeError
 
-	// degradation selects the query's β failure policy (guarded by the
-	// executor lock; resilience.Default behaves like SkipTuple here).
+	// degradation selects the query's β failure policy (guarded by mu;
+	// resilience.Default behaves like SkipTuple here).
 	degradation resilience.DegradationPolicy
 }
 
@@ -174,23 +214,37 @@ func (q *Query) Infinite() bool { return q.infinite }
 func (q *Query) Output() *stream.XDRelation { return q.out }
 
 // Stats returns cumulative invocation statistics.
-func (q *Query) Stats() query.InvokeStats { return q.stats }
+func (q *Query) Stats() query.InvokeStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
 
 // Actions returns the cumulative action set (all active invocations fired
 // since registration — each distinct action appears once).
 func (q *Query) Actions() *query.ActionSet { return q.actions }
 
 // LastResult returns the instantaneous result of the latest tick.
-func (q *Query) LastResult() *algebra.XRelation { return q.lastRes }
+func (q *Query) LastResult() *algebra.XRelation {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.lastRes
+}
 
 // Degradation returns the query's β failure policy.
-func (q *Query) Degradation() resilience.DegradationPolicy { return q.degradation }
+func (q *Query) Degradation() resilience.DegradationPolicy {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.degradation
+}
 
 // InvokeErrors returns the invocation failures skipped so far (most recent
 // last, bounded to the last 100). A flaky device degrades a continuous
 // query to partial results instead of killing it; the failures are
 // reported here.
 func (q *Query) InvokeErrors() []query.InvokeError {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	out := make([]query.InvokeError, len(q.invErrs))
 	copy(out, q.invErrs)
 	return out
@@ -198,6 +252,8 @@ func (q *Query) InvokeErrors() []query.InvokeError {
 
 func (q *Query) recordInvokeError(e query.InvokeError) {
 	const keep = 100
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	q.invErrs = append(q.invErrs, e)
 	if len(q.invErrs) > keep {
 		q.invErrs = q.invErrs[len(q.invErrs)-keep:]
@@ -221,6 +277,8 @@ func (s schemaEnv) Relation(name string) (*algebra.XRelation, error) {
 // XD-Relation must appear directly under a Window operator (an unwindowed
 // stream has no finite instantaneous relation).
 func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.queries[name]; dup {
@@ -295,12 +353,14 @@ func (q *Query) indexPlanNodes() {
 // the next instant under every policy.
 func (e *Executor) SetDegradation(name string, p resilience.DegradationPolicy) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	q, ok := e.queries[name]
+	e.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("cq: unknown query %q", name)
 	}
+	q.mu.Lock()
 	q.degradation = p
+	q.mu.Unlock()
 	return nil
 }
 
@@ -334,6 +394,8 @@ func (e *Executor) RelationNames() []string {
 
 // Unregister stops and removes a continuous query.
 func (e *Executor) Unregister(name string) error {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.queries[name]; !ok {
@@ -415,12 +477,30 @@ func (e *Executor) checkStreamsWindowed(n query.Node, directlyUnderWindow bool) 
 // Tick advances the clock one instant: it pumps every source, then
 // evaluates every registered query at the new instant, updating outputs and
 // firing OnResult callbacks. It returns the instant just executed.
+//
+// Only tickMu is held across the tick; e.mu is taken briefly around field
+// access, so Query/QueryNames/Relation readers and the metrics pollers
+// never wait a whole tick out. WAL BeginTick/CommitTick still bracket
+// everything the tick does, and queries evaluate in dependency stages (see
+// evalTickQueries) so derived views keep reading their producer's
+// same-instant output.
 func (e *Executor) Tick() (service.Instant, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	start := time.Now()
+	e.mu.Lock()
 	e.now++
 	at := e.now
+	order := append([]string(nil), e.order...)
+	qs := make([]*Query, len(order))
+	for i, name := range order {
+		qs[i] = e.queries[name]
+	}
+	sources := append([]Source(nil), e.sources...)
+	dur := e.dur
+	onCheckpoint := e.onCheckpoint
+	workers := e.queryParallelism
+	e.mu.Unlock()
 	// The head-sampling decision for the whole tick: a sampled tick gets a
 	// root span; everything below (query evals, operators, β tuples, wire
 	// round trips) records as its descendants. An unsampled tick threads a
@@ -428,47 +508,165 @@ func (e *Executor) Tick() (service.Instant, error) {
 	tick := trace.Default.StartRoot("cq.tick")
 	tick.SetAttrInt("instant", int64(at))
 	defer tick.Finish()
-	if e.dur != nil {
-		if err := e.dur.BeginTick(at); err != nil {
+	if dur != nil {
+		if err := dur.BeginTick(at); err != nil {
 			tick.SetAttr("error", err.Error())
 			e.logTickError(tick, at, "", err)
 			return at, fmt.Errorf("cq: wal begin at instant %d: %w", at, err)
 		}
 	}
-	for _, src := range e.sources {
+	for _, src := range sources {
 		if err := src(at); err != nil {
 			tick.SetAttr("error", err.Error())
 			e.logTickError(tick, at, "", err)
 			return at, fmt.Errorf("cq: source at instant %d: %w", at, err)
 		}
 	}
-	for _, name := range e.order {
-		if err := e.evalQuery(e.queries[name], at, tick, nil); err != nil {
-			tick.SetAttr("error", err.Error())
-			e.logTickError(tick, at, name, err)
-			return at, fmt.Errorf("cq: query %q at instant %d: %w", name, at, err)
-		}
+	if err := e.evalTickQueries(order, qs, at, tick, nil, workers); err != nil {
+		return at, err
 	}
+	e.mu.Lock()
 	e.trimStreams(at)
-	if e.dur != nil {
-		due, err := e.dur.CommitTick(at)
+	e.mu.Unlock()
+	if dur != nil {
+		due, err := dur.CommitTick(at)
 		if err != nil {
 			tick.SetAttr("error", err.Error())
 			e.logTickError(tick, at, "", err)
 			return at, fmt.Errorf("cq: wal commit at instant %d: %w", at, err)
 		}
-		if due && e.onCheckpoint != nil {
-			if err := e.onCheckpoint(e.snapshotLocked()); err != nil {
+		if due && onCheckpoint != nil {
+			e.mu.Lock()
+			st := e.snapshotLocked()
+			e.mu.Unlock()
+			if err := onCheckpoint(st); err != nil {
 				// Non-fatal: the log still covers everything; retried at the
 				// next due tick.
 				slog.Warn("cq: checkpoint failed", "instant", int64(at), "err", err.Error())
 			}
 		}
 	}
+	e.mu.Lock()
 	e.recordLag(at)
+	e.mu.Unlock()
 	obsTicks.Inc()
 	obsTickLatency.Observe(time.Since(start))
 	return at, nil
+}
+
+// evalTickQueries evaluates one tick's queries in dependency stages. A
+// query reading another registered query's output relation (a derived
+// view) must evaluate after its producer to see the producer's
+// same-instant output; registration order is topological (Register only
+// accepts plans whose relations already exist), so one pass over the
+// queries assigns each its stage. Within a stage, queries are independent
+// and evaluate concurrently on a bounded pool when workers > 1. Errors are
+// deterministic: the failing query earliest in registration order wins.
+func (e *Executor) evalTickQueries(order []string, qs []*Query, at service.Instant, tick *trace.Span, replay ReplayLedger, workers int) error {
+	fail := func(i int, err error) error {
+		tick.SetAttr("error", err.Error())
+		e.logTickError(tick, at, order[i], err)
+		return fmt.Errorf("cq: query %q at instant %d: %w", order[i], at, err)
+	}
+	if workers < 2 || len(qs) < 2 {
+		for i, q := range qs {
+			if err := e.evalQuery(q, at, tick, replay); err != nil {
+				return fail(i, err)
+			}
+		}
+		return nil
+	}
+	for _, stage := range stageQueries(order, qs) {
+		w := workers
+		if w > len(stage) {
+			w = len(stage)
+		}
+		if w < 2 {
+			for _, i := range stage {
+				if err := e.evalQuery(qs[i], at, tick, replay); err != nil {
+					return fail(i, err)
+				}
+			}
+			continue
+		}
+		var (
+			wg       sync.WaitGroup
+			errMu    sync.Mutex
+			errIdx   = -1
+			firstErr error
+		)
+		next := make(chan int)
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if err := e.evalQuery(qs[i], at, tick, replay); err != nil {
+						errMu.Lock()
+						if errIdx == -1 || i < errIdx {
+							errIdx, firstErr = i, err
+						}
+						errMu.Unlock()
+					}
+				}
+			}()
+		}
+		for _, i := range stage {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		if firstErr != nil {
+			return fail(errIdx, firstErr)
+		}
+	}
+	return nil
+}
+
+// stageQueries groups query indexes into evaluation stages by derived-view
+// dependency depth: stage 0 reads only base relations, stage k reads at
+// least one stage k−1 output. Dependencies always point at earlier
+// registrations, so depths resolve in one forward pass.
+func stageQueries(order []string, qs []*Query) [][]int {
+	idxOf := make(map[string]int, len(order))
+	for i, name := range order {
+		idxOf[name] = i
+	}
+	depth := make([]int, len(qs))
+	maxDepth := 0
+	for i, q := range qs {
+		d := 0
+		for _, dep := range planBaseNames(q.plan) {
+			if j, ok := idxOf[dep]; ok && j < i && depth[j]+1 > d {
+				d = depth[j] + 1
+			}
+		}
+		depth[i] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	stages := make([][]int, maxDepth+1)
+	for i, d := range depth {
+		stages[d] = append(stages[d], i)
+	}
+	return stages
+}
+
+// planBaseNames collects every base-relation name a plan reads.
+func planBaseNames(n query.Node) []string {
+	var out []string
+	var walk func(query.Node)
+	walk = func(n query.Node) {
+		if b, ok := n.(*query.Base); ok {
+			out = append(out, b.Name)
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
 }
 
 // logTickError emits a structured log line for a failed tick, correlated
@@ -510,13 +708,17 @@ func (e *Executor) RunUntil(at service.Instant) error {
 	return nil
 }
 
-// evalQuery evaluates one query at one instant (lock held). tick is the
-// enclosing tick span (nil when the tick is unsampled). replay, non-nil
-// during recovery, carries the tick's logged active-invocation outcomes;
-// live ticks pass nil.
+// evalQuery evaluates one query at one instant (tickMu held by the caller;
+// e.mu is NOT held — parallel stages run several evalQuery calls at once).
+// tick is the enclosing tick span (nil when the tick is unsampled). replay,
+// non-nil during recovery, carries the tick's logged active-invocation
+// outcomes; live ticks pass nil.
 func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span, replay ReplayLedger) error {
 	ctx := query.NewContext(schemaEnv{e}, e.reg, at)
+	e.mu.Lock()
 	ctx.Parallelism = e.parallelism
+	ctx.BatchSize = e.batchSize
+	e.mu.Unlock()
 	qspan := tick.Child("cq.query")
 	qspan.SetAttr("query", q.name)
 	ctx.Span = qspan
@@ -525,7 +727,9 @@ func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span, rep
 	// device; continuous queries default to SkipTuple so one flaky sensor
 	// degrades a standing query to partial results instead of killing it.
 	// Every failure is recorded on the query either way.
+	q.mu.Lock()
 	ctx.Degradation = q.degradation
+	q.mu.Unlock()
 	if ctx.Degradation == resilience.Default {
 		ctx.Degradation = resilience.SkipTuple
 	}
@@ -545,10 +749,13 @@ func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span, rep
 	}
 	qspan.SetAttrInt("rows", int64(res.Len()))
 	qspan.Finish()
+	q.mu.Lock()
 	q.lastRes = res
 	q.stats.Active += ctx.Stats.Active
 	q.stats.Passive += ctx.Stats.Passive
 	q.stats.Memoized += ctx.Stats.Memoized
+	q.stats.Coalesced += ctx.Stats.Coalesced
+	q.mu.Unlock()
 	for _, a := range ctx.Actions.Sorted() {
 		q.actions.Add(a)
 	}
@@ -835,9 +1042,68 @@ type deltaInvoker struct {
 	misses atomic.Int64
 }
 
-// MaxParallel implements algebra.ParallelInvoker (inherited from the
-// executor's setting).
-func (d *deltaInvoker) MaxParallel() int { return d.ev.exec.parallelism }
+// MaxParallel implements algebra.ParallelInvoker (from the evaluation
+// context, snapshotted at the start of the tick).
+func (d *deltaInvoker) MaxParallel() int { return d.ev.ctx.Parallelism }
+
+// MaxBatch implements algebra.BatchInvoker (from the evaluation context).
+func (d *deltaInvoker) MaxBatch() int { return d.ev.ctx.MaxBatch() }
+
+// InvokeBatch implements algebra.BatchInvoker for passive β fan-out: jobs
+// answered by the cross-instant delta cache resolve locally, the misses go
+// through the context's batch planner in one pass (dedup, coalescing,
+// grouped wire frames), and fresh successful results enter this instant's
+// cache exactly as the per-tuple path would. Active patterns never come
+// here — the algebra keeps them on the per-tuple path, where the
+// effectful-once WAL protocol lives.
+func (d *deltaInvoker) InvokeBatch(bp schema.BindingPattern, refs []string, inputs []value.Tuple) []algebra.BatchResult {
+	out := make([]algebra.BatchResult, len(refs))
+	keys := make([]string, len(refs))
+	missIdx := make([]int, 0, len(refs))
+	d.mu.Lock()
+	for i := range refs {
+		key := bp.ID() + "|" + refs[i] + "|" + inputs[i].Key()
+		keys[i] = key
+		if rows, ok := d.cache[key]; ok {
+			d.next[key] = rows
+			out[i].Rows = rows
+			d.hits.Add(1)
+			obsDeltaHits.Inc()
+			continue
+		}
+		if rows, ok := d.next[key]; ok {
+			out[i].Rows = rows
+			d.hits.Add(1)
+			obsDeltaHits.Inc()
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	d.mu.Unlock()
+	if len(missIdx) == 0 {
+		return out
+	}
+	obsDeltaMisses.Add(int64(len(missIdx)))
+	d.misses.Add(int64(len(missIdx)))
+	missRefs := make([]string, len(missIdx))
+	missInputs := make([]value.Tuple, len(missIdx))
+	for j, i := range missIdx {
+		missRefs[j], missInputs[j] = refs[i], inputs[i]
+	}
+	skipped := make([]bool, len(missIdx))
+	brs := d.ev.ctx.InvokeBatchTracked(bp, missRefs, missInputs, skipped)
+	d.mu.Lock()
+	for j, i := range missIdx {
+		out[i] = brs[j]
+		// Absorbed failures (skipped) pass their stand-in rows through
+		// WITHOUT being cached, so the tuple retries next instant.
+		if brs[j].Err == nil && !skipped[j] {
+			d.next[keys[i]] = brs[j].Rows
+		}
+	}
+	d.mu.Unlock()
+	return out
+}
 
 // Invoke implements algebra.Invoker. It is safe for concurrent use.
 func (d *deltaInvoker) Invoke(bp schema.BindingPattern, ref string, input value.Tuple) ([]value.Tuple, error) {

@@ -1,0 +1,189 @@
+package cq_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"serena/internal/algebra"
+	"serena/internal/cq"
+	"serena/internal/device"
+	"serena/internal/paperenv"
+	"serena/internal/query"
+	"serena/internal/service"
+	"serena/internal/stream"
+	"serena/internal/value"
+)
+
+// slowTickExec builds an executor whose single query invokes services that
+// each take `lat` per call, so one tick holds the tick path busy for a
+// measurable while.
+func slowTickExec(t *testing.T, n int, lat time.Duration) *cq.Executor {
+	t.Helper()
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+		t.Fatal(err)
+	}
+	fin := stream.NewFinite(paperenv.SensorsSchema())
+	for i := 0; i < n; i++ {
+		ref := fmt.Sprintf("s%03d", i)
+		err := reg.Register(service.NewFunc(ref, map[string]service.InvokeFunc{
+			"getTemperature": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+				time.Sleep(lat)
+				return []value.Tuple{{value.NewReal(20)}}, nil
+			},
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fin.Insert(0, value.Tuple{value.NewService(ref), value.NewString("lab")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exec := cq.NewExecutor(reg)
+	if err := exec.AddRelation(fin); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Register("temps", query.NewInvoke(query.NewBase("sensors"), "getTemperature", "")); err != nil {
+		t.Fatal(err)
+	}
+	return exec
+}
+
+// TestReadersDoNotBlockDuringSlowTick pins the lock-narrowing behavior: a
+// tick spending hundreds of milliseconds in β invocations must not make
+// Query/QueryNames/Stats/LastResult readers wait it out — they read under
+// short field locks, not the tick lock.
+func TestReadersDoNotBlockDuringSlowTick(t *testing.T) {
+	const lat = 120 * time.Millisecond
+	exec := slowTickExec(t, 3, lat) // sequential tick ≈ 360ms of invocations
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	tickStart := time.Now()
+	go func() {
+		defer wg.Done()
+		if _, err := exec.Tick(); err != nil {
+			t.Errorf("tick: %v", err)
+		}
+	}()
+	time.Sleep(40 * time.Millisecond) // let the tick get into its invocations
+
+	readStart := time.Now()
+	names := exec.QueryNames()
+	q, ok := exec.Query("temps")
+	if !ok {
+		t.Fatal("query not visible mid-tick")
+	}
+	_ = q.Stats()
+	_ = q.LastResult()
+	_ = q.InvokeErrors()
+	readLat := time.Since(readStart)
+
+	wg.Wait()
+	tickLat := time.Since(tickStart)
+	if len(names) != 1 || names[0] != "temps" {
+		t.Fatalf("names = %v", names)
+	}
+	if tickLat < 3*lat {
+		t.Fatalf("fixture broken: tick took %v, expected ≥ %v of invocation latency", tickLat, 3*lat)
+	}
+	// The readers ran while the tick still had ≥200ms to go; anything near
+	// the tick duration means they queued behind the tick lock.
+	if readLat > lat {
+		t.Fatalf("readers took %v during a %v tick — blocked on the tick lock", readLat, tickLat)
+	}
+}
+
+// TestDependentQueriesUnderParallelTick: with query-level parallelism on,
+// a query reading another's derived relation must still see the SAME
+// instant's output — dependents run in a later stage, not concurrently
+// with their producer.
+func TestDependentQueriesUnderParallelTick(t *testing.T) {
+	s := newScenario(t)
+	s.exec.SetQueryParallelism(4)
+	if _, err := s.exec.Register("hot", query.NewSelect(
+		query.NewWindow(query.NewBase("temperatures"), 1),
+		algebra.Compare(algebra.Attr("temperature"), algebra.Gt, algebra.Const(value.NewReal(28))))); err != nil {
+		t.Fatal(err)
+	}
+	alerts, err := s.exec.Register("alerts", query.NewInvoke(
+		query.NewAssignConst(
+			query.NewJoin(query.NewBase("contacts"), query.NewBase("hot")),
+			"text", value.NewString("Hot!")),
+		"sendMessage", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An independent third query rides in the same stage pool.
+	if _, err := s.exec.Register("views", query.NewBase("cameras")); err != nil {
+		t.Fatal(err)
+	}
+	s.dev.Sensors["sensor06"].Heat(device.HeatEvent{From: 2, To: 4, Delta: 10})
+	if err := s.exec.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	if alerts.Actions().Len() != 3 {
+		t.Fatalf("actions = %s, want the 3 contacts alerted in the hot instant", alerts.Actions())
+	}
+	total := len(s.dev.Messengers["email"].Outbox()) + len(s.dev.Messengers["jabber"].Outbox())
+	if total != 3 {
+		t.Fatalf("deliveries = %d, want 3", total)
+	}
+}
+
+// TestParallelTickEquivalentToSequential runs the same scenario twice —
+// fully sequential vs query-parallel + invocation-parallel + batched — and
+// demands identical query results, action sets and physical deliveries
+// (Definition 9 equivalence, end to end through the continuous executor).
+func TestParallelTickEquivalentToSequential(t *testing.T) {
+	type outcome struct {
+		actions    int
+		deliveries int
+		lastQ3     *algebra.XRelation
+		lastHot    *algebra.XRelation
+	}
+	run := func(parallel bool) outcome {
+		s := newScenario(t)
+		if parallel {
+			s.exec.SetQueryParallelism(4)
+			s.exec.SetParallelism(8)
+			s.exec.SetBatchSize(4)
+		}
+		q, err := s.exec.Register("q3", q3())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot, err := s.exec.Register("hot", query.NewSelect(
+			query.NewWindow(query.NewBase("temperatures"), 1),
+			algebra.Compare(algebra.Attr("temperature"), algebra.Gt, algebra.Const(value.NewReal(28)))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.dev.Sensors["sensor06"].Heat(device.HeatEvent{From: 5, To: 8, Delta: 20})
+		if err := s.exec.RunUntil(10); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{
+			actions:    q.Actions().Len(),
+			deliveries: len(s.dev.Messengers["email"].Outbox()) + len(s.dev.Messengers["jabber"].Outbox()),
+			lastQ3:     q.LastResult(),
+			lastHot:    hot.LastResult(),
+		}
+	}
+	seq := run(false)
+	par := run(true)
+	if seq.actions != par.actions {
+		t.Fatalf("action sets differ: %d vs %d", seq.actions, par.actions)
+	}
+	if seq.deliveries != par.deliveries {
+		t.Fatalf("physical deliveries differ: %d sequential vs %d parallel", seq.deliveries, par.deliveries)
+	}
+	if !seq.lastQ3.EqualContents(par.lastQ3) {
+		t.Fatal("q3 results differ between sequential and parallel ticks")
+	}
+	if !seq.lastHot.EqualContents(par.lastHot) {
+		t.Fatal("hot view differs between sequential and parallel ticks")
+	}
+}

@@ -49,6 +49,7 @@ type PEMS struct {
 	tickerStop  chan struct{}
 	tickerDone  chan struct{}
 	parallelism int
+	batchSize   int
 
 	// explainOut receives the output of EXPLAIN [ANALYZE] DDL statements
 	// (default: discarded; the serena shell points it at stdout).
@@ -139,6 +140,32 @@ func (p *PEMS) invocationParallelism() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.parallelism
+}
+
+// SetInvocationBatchSize bounds how many β invocations the batch planner
+// packs into one registry dispatch (one wire frame per remote chunk), for
+// both one-shot and continuous queries. Zero restores the default
+// (query.DefaultBatchSize); negative disables batching entirely, keeping
+// the per-tuple invocation path.
+func (p *PEMS) SetInvocationBatchSize(n int) {
+	p.mu.Lock()
+	p.batchSize = n
+	p.mu.Unlock()
+	p.exec.SetBatchSize(n)
+}
+
+func (p *PEMS) invocationBatchSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.batchSize
+}
+
+// SetQueryParallelism bounds how many registered continuous queries one
+// tick evaluates concurrently. Queries reading another query's output
+// always run after their producer, so derived views keep their
+// same-instant semantics. Values < 2 keep the sequential default.
+func (p *PEMS) SetQueryParallelism(n int) {
+	p.exec.SetQueryParallelism(n)
 }
 
 // SetInvocationTimeout bounds every physical service invocation (local or
@@ -241,6 +268,7 @@ func (p *PEMS) OneShot(src string) (*query.Result, error) {
 	}
 	ctx := query.NewContext(p.Env(at), p.registry, at)
 	ctx.Parallelism = p.invocationParallelism()
+	ctx.BatchSize = p.invocationBatchSize()
 	return query.EvaluateCtx(n, ctx)
 }
 
@@ -257,6 +285,7 @@ func (p *PEMS) OneShotSQL(src string) (*query.Result, error) {
 	}
 	ctx := query.NewContext(p.Env(at), p.registry, at)
 	ctx.Parallelism = p.invocationParallelism()
+	ctx.BatchSize = p.invocationBatchSize()
 	return query.EvaluateCtx(st.Root, ctx)
 }
 
@@ -445,6 +474,7 @@ func (p *PEMS) ExplainAnalyze(src string) (*TraceReport, error) {
 	}
 	ctx := query.NewContext(p.Env(at), p.registry, at)
 	ctx.Parallelism = p.invocationParallelism()
+	ctx.BatchSize = p.invocationBatchSize()
 	res, err := query.EvaluateCtx(traced, ctx)
 	if err != nil {
 		// A failed evaluation still carries a partial trace (the error is

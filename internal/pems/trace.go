@@ -49,6 +49,7 @@ func (p *PEMS) TraceOneShot(src string) (*InvocationTrace, error) {
 	}
 	ctx := query.NewContext(p.Env(at), p.registry, at)
 	ctx.Parallelism = p.invocationParallelism()
+	ctx.BatchSize = p.invocationBatchSize()
 	root := trace.Default.ForceRoot("query.eval")
 	root.SetAttrInt("instant", int64(at))
 	ctx.Span = root

@@ -1,0 +1,280 @@
+package query
+
+import (
+	"sync"
+
+	"serena/internal/algebra"
+	"serena/internal/obs"
+	"serena/internal/schema"
+	"serena/internal/service"
+	"serena/internal/trace"
+	"serena/internal/value"
+)
+
+// Batch-planner metrics: plans built, β jobs entering them, duplicate jobs
+// folded before dispatch, and physical registry dispatches (one per
+// (ref, chunk) — for remote services, one wire frame each).
+var (
+	obsPlanCalls      = obs.Default.Counter("query.batch.plans")
+	obsPlanJobs       = obs.Default.Counter("query.batch.jobs")
+	obsPlanDeduped    = obs.Default.Counter("query.batch.deduped")
+	obsPlanDispatches = obs.Default.Counter("query.batch.dispatches")
+)
+
+// DefaultBatchSize is the dispatch chunk bound used when Context.BatchSize
+// is zero. Large enough to amortize a wire round trip, small enough that a
+// frame stays cheap to encode and one slow item does not stall hundreds.
+const DefaultBatchSize = 64
+
+// MaxBatch implements algebra.BatchInvoker: the largest group the planner
+// wants in one dispatch. Values < 2 make the algebra keep the per-tuple
+// path. The default (BatchSize 0) consults the registry: batching exists
+// to amortize transport round trips, so with no batch-capable service
+// registered (a pure-local environment) the planner would be pure
+// overhead and the per-tuple path stays. An explicit positive BatchSize
+// forces the planner on regardless.
+func (c *Context) MaxBatch() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	if c.BatchSize < 0 {
+		return 1
+	}
+	if c.Registry != nil && !c.Registry.HasBatchTransport() {
+		return 1
+	}
+	return DefaultBatchSize
+}
+
+// batchCall is one unique (ref, input) pair of a batch plan, carrying the
+// original job indexes that folded into it and, once resolved, its shared
+// outcome.
+type batchCall struct {
+	ref    string
+	input  value.Tuple
+	idxs   []int // original job indexes sharing this call
+	flight *service.Flight
+	status service.BeginStatus
+	rows   []value.Tuple
+	err    error
+}
+
+// InvokeBatch implements algebra.BatchInvoker for passive β fan-out.
+func (c *Context) InvokeBatch(bp schema.BindingPattern, refs []string, inputs []value.Tuple) []algebra.BatchResult {
+	return c.InvokeBatchTracked(bp, refs, inputs, nil)
+}
+
+// InvokeBatchTracked plans and dispatches a passive β fan-out as batches:
+// identical (proto, ref, input) jobs are folded into one call, folded calls
+// join the per-instant memo's in-flight coalescing (so concurrent workers
+// and other operators share the same physical call), and the remaining
+// unique misses are grouped by service ref and dispatched through
+// Registry.InvokeBatchCtx in MaxBatch-bounded chunks — one wire frame per
+// chunk for remote services. Results are positional; per-item failures go
+// through the same degradation policy as the per-tuple path, and skipped
+// (if non-nil, len(refs)) marks absorbed failures exactly like
+// InvokeTracked's skipped out-param does.
+//
+// Active binding patterns must NOT come here: each active occurrence is a
+// distinct Def. 8 action and must fire per tuple (the algebra gates on
+// bp.Active() before choosing the batch path).
+func (c *Context) InvokeBatchTracked(bp schema.BindingPattern, refs []string, inputs []value.Tuple, skipped []bool) []algebra.BatchResult {
+	n := len(refs)
+	out := make([]algebra.BatchResult, n)
+	if n == 0 {
+		return out
+	}
+	obsPlanCalls.Inc()
+	obsPlanJobs.Add(int64(n))
+
+	var span *trace.Span
+	if c.Span != nil {
+		span = c.Span.Child("invoke.batch")
+		span.SetAttr("bp", bp.ID())
+		span.SetAttrInt("jobs", int64(n))
+	}
+
+	proto := bp.Proto.Name
+
+	// Fold identical jobs. With the memo disabled (ablation: every tuple
+	// re-invokes) duplicates are kept as separate calls to preserve those
+	// semantics.
+	calls := make([]*batchCall, 0, n)
+	if c.Memo != nil {
+		unique := make(map[string]*batchCall, n)
+		for i := 0; i < n; i++ {
+			k := refs[i] + "|" + inputs[i].Key()
+			bc := unique[k]
+			if bc == nil {
+				bc = &batchCall{ref: refs[i], input: inputs[i]}
+				unique[k] = bc
+				calls = append(calls, bc)
+			} else {
+				obsPlanDeduped.Inc()
+			}
+			bc.idxs = append(bc.idxs, i)
+		}
+		// Register every unique call with the memo: hits resolve now,
+		// shared flights are awaited after our own dispatches complete
+		// (their owners run elsewhere), owners go to the dispatch stage.
+		for _, bc := range calls {
+			bc.rows, bc.flight, bc.status = c.Memo.Begin(proto, bc.ref, bc.input)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			bc := &batchCall{ref: refs[i], input: inputs[i], status: service.BeginOwner}
+			bc.idxs = []int{i}
+			calls = append(calls, bc)
+		}
+	}
+
+	// Group owned misses by service ref, preserving first-appearance order
+	// for deterministic dispatch.
+	groupOf := make(map[string][]*batchCall)
+	var groupOrder []string
+	owned := 0
+	for _, bc := range calls {
+		if bc.status != service.BeginOwner {
+			continue
+		}
+		owned++
+		if _, ok := groupOf[bc.ref]; !ok {
+			groupOrder = append(groupOrder, bc.ref)
+		}
+		groupOf[bc.ref] = append(groupOf[bc.ref], bc)
+	}
+
+	// Dispatch each (ref, chunk) through the registry's batch entry point.
+	// Groups for different refs run concurrently up to Parallelism; chunks
+	// within a ref stay sequential (one frame at a time per service).
+	maxB := c.MaxBatch()
+	if maxB < 1 {
+		maxB = 1
+	}
+	ctx := trace.ContextWith(c.ctx(), span)
+	dispatch := func(ref string, group []*batchCall) {
+		if len(group) == 1 {
+			// Single-call group: a one-item frame buys nothing, so keep the
+			// plain per-item path (common for local fan-outs over distinct
+			// services — the batch pipeline must not tax them).
+			bc := group[0]
+			obsPlanDispatches.Inc()
+			bc.rows, bc.err = c.Registry.InvokeCtx(ctx, proto, bc.ref, bc.input, c.At)
+			if bc.flight != nil {
+				bc.flight.Complete(bc.rows, bc.err)
+			}
+			return
+		}
+		for start := 0; start < len(group); start += maxB {
+			end := start + maxB
+			if end > len(group) {
+				end = len(group)
+			}
+			chunk := group[start:end]
+			chunkInputs := make([]value.Tuple, len(chunk))
+			for j, bc := range chunk {
+				chunkInputs[j] = bc.input
+			}
+			obsPlanDispatches.Inc()
+			results := c.Registry.InvokeBatchCtx(ctx, proto, ref, chunkInputs, c.At)
+			for j, bc := range chunk {
+				bc.rows, bc.err = results[j].Rows, results[j].Err
+				if bc.flight != nil {
+					bc.flight.Complete(bc.rows, bc.err)
+				}
+			}
+		}
+	}
+	workers := c.Parallelism
+	if workers > len(groupOrder) {
+		workers = len(groupOrder)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan string)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ref := range next {
+					dispatch(ref, groupOf[ref])
+				}
+			}()
+		}
+		for _, ref := range groupOrder {
+			next <- ref
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for _, ref := range groupOrder {
+			dispatch(ref, groupOf[ref])
+		}
+	}
+
+	// Resolve shared flights now that our own dispatches cannot deadlock
+	// against them (their owners are other goroutines).
+	for _, bc := range calls {
+		if bc.status == service.BeginShared {
+			bc.rows, bc.err = bc.flight.Wait()
+		}
+	}
+
+	// Fan results back out to the original job order, counting stats the
+	// way the sequential per-tuple path would have: the first job of a
+	// folded call is the physical one, later jobs are memo hits.
+	for _, bc := range calls {
+		if bc.err != nil {
+			for _, i := range bc.idxs {
+				var sk *bool
+				if skipped != nil {
+					sk = &skipped[i]
+				}
+				var ts *trace.Span
+				if span != nil {
+					ts = span.Child(trace.SpanInvoke)
+					ts.SetAttr("bp", bp.ID())
+					ts.SetAttr("ref", bc.ref)
+					ts.SetAttr("in", bc.input.String())
+				}
+				rows, err := c.invokeFailed(bp, bc.ref, bc.input, bc.err, sk, ts)
+				out[i] = algebra.BatchResult{Rows: rows, Err: err}
+			}
+			continue
+		}
+		for pos, i := range bc.idxs {
+			out[i] = algebra.BatchResult{Rows: bc.rows}
+			var mode string
+			switch {
+			case bc.status == service.BeginHit:
+				c.bump(&c.Stats.Memoized)
+				mode = "memoized"
+			case bc.status == service.BeginShared:
+				c.bump(&c.Stats.Coalesced)
+				mode = "coalesced"
+			case pos == 0:
+				c.bump(&c.Stats.Passive)
+				mode = "passive"
+			default:
+				c.bump(&c.Stats.Memoized)
+				mode = "memoized"
+			}
+			// Per-tuple β spans survive batching: lineage still records one
+			// "invoke" span per job, with the batch span as their parent.
+			if span != nil {
+				ts := span.Child(trace.SpanInvoke)
+				ts.SetAttr("bp", bp.ID())
+				ts.SetAttr("ref", bc.ref)
+				ts.SetAttr("in", bc.input.String())
+				ts.SetAttr("mode", mode)
+				c.finishInvokeSpan(ts, bc.rows)
+			}
+		}
+	}
+	if span != nil {
+		span.SetAttrInt("unique", int64(len(calls)))
+		span.SetAttrInt("dispatched", int64(owned))
+		span.Finish()
+	}
+	return out
+}

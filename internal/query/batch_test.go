@@ -1,0 +1,332 @@
+package query_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"serena/internal/algebra"
+	"serena/internal/device"
+	"serena/internal/paperenv"
+	"serena/internal/query"
+	"serena/internal/resilience"
+	"serena/internal/service"
+	"serena/internal/value"
+)
+
+// countingEnv builds a sensors environment where the first dup of the n refs
+// appears under TWO locations — two tuples, one β job each, but identical
+// (proto, ref, input) pairs the planner must fold — and a registry whose
+// services count physical invocations per ref.
+func countingEnv(t *testing.T, n, dup int) (query.MapEnv, *service.Registry, map[string]*atomic.Int64) {
+	t.Helper()
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]*atomic.Int64, n)
+	var rows []value.Tuple
+	for i := 0; i < n; i++ {
+		ref := fmt.Sprintf("s%03d", i)
+		c := &atomic.Int64{}
+		counts[ref] = c
+		temp := float64(i)
+		err := reg.Register(service.NewFunc(ref, map[string]service.InvokeFunc{
+			"getTemperature": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+				c.Add(1)
+				return []value.Tuple{{value.NewReal(temp)}}, nil
+			},
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, value.Tuple{value.NewService(ref), value.NewString("lab")})
+		if i < dup {
+			rows = append(rows, value.Tuple{value.NewService(ref), value.NewString("hall")})
+		}
+	}
+	env := query.MapEnv{
+		"sensors":  algebra.MustNew(paperenv.SensorsSchema(), rows),
+		"contacts": paperenv.Contacts(),
+	}
+	return env, reg, counts
+}
+
+// registerCountingMessengers adds sendMessage services for the contacts
+// fixture, counting deliveries per messenger ref.
+func registerCountingMessengers(t *testing.T, reg *service.Registry, counts map[string]*atomic.Int64) {
+	t.Helper()
+	if err := reg.RegisterPrototype(device.SendMessageProto()); err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []string{"email", "jabber"} {
+		c := &atomic.Int64{}
+		counts[ref] = c
+		err := reg.Register(service.NewFunc(ref, map[string]service.InvokeFunc{
+			"sendMessage": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+				c.Add(1)
+				return []value.Tuple{{value.NewBool(true)}}, nil
+			},
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBatchedParallelEquivalentToSequential is the Definition 9 property
+// test: the batched, parallel pipeline must be EQUIVALENT to the sequential
+// per-tuple one — same result relation AND same action set — and on top of
+// that must reach each service the same number of times (the over-firing
+// bug was invisible to result equality alone).
+func TestBatchedParallelEquivalentToSequential(t *testing.T) {
+	qPassive := query.NewInvoke(query.NewBase("sensors"), "getTemperature", "")
+	qActive := query.NewInvoke(
+		query.NewAssignConst(query.NewBase("contacts"), "text", value.NewString("x")),
+		"sendMessage", "")
+
+	type run struct {
+		passive, active *query.Result
+		stats           query.InvokeStats
+		counts          map[string]int64
+	}
+	eval := func(parallelism, batchSize int) run {
+		env, reg, counts := countingEnv(t, 8, 4)
+		registerCountingMessengers(t, reg, counts)
+		ctx := query.NewContext(env, reg, 0)
+		ctx.Parallelism = parallelism
+		ctx.BatchSize = batchSize
+		rp, err := query.EvaluateCtx(qPassive, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := query.EvaluateCtx(qActive, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := make(map[string]int64, len(counts))
+		for ref, c := range counts {
+			flat[ref] = c.Load()
+		}
+		return run{passive: rp, active: ra, stats: ctx.Stats, counts: flat}
+	}
+
+	seq := eval(1, -1) // per-tuple, no batching, no parallelism
+	par := eval(8, 4)  // batched (chunks of 4) on 8 workers
+
+	if !seq.passive.Relation.EqualContents(par.passive.Relation) {
+		t.Fatal("passive result differs between sequential and batched evaluation")
+	}
+	if !seq.active.Relation.EqualContents(par.active.Relation) {
+		t.Fatal("active result differs between sequential and batched evaluation")
+	}
+	if !seq.active.Actions.Equal(par.active.Actions) {
+		t.Fatalf("action sets differ (Def. 9):\n  seq %s\n  par %s", seq.active.Actions, par.active.Actions)
+	}
+	if seq.stats != par.stats {
+		t.Fatalf("invocation stats differ:\n  seq %+v\n  par %+v", seq.stats, par.stats)
+	}
+	// 12 passive jobs fold to 8 physical calls; 3 active deliveries fire
+	// per tuple in both pipelines.
+	for ref, want := range seq.counts {
+		if got := par.counts[ref]; got != want {
+			t.Fatalf("service %s reached %d times batched, %d sequential", ref, got, want)
+		}
+		if want != 1 && ref != "email" {
+			t.Fatalf("service %s reached %d times sequentially, want 1", ref, want)
+		}
+	}
+	if seq.counts["email"] != 2 || seq.counts["jabber"] != 1 {
+		t.Fatalf("deliveries = %d email / %d jabber, want 2/1", seq.counts["email"], seq.counts["jabber"])
+	}
+	if seq.stats.Active != 3 || seq.stats.Passive != 8 || seq.stats.Memoized != 4 {
+		t.Fatalf("stats = %+v, want 3 active / 8 passive / 4 memoized", seq.stats)
+	}
+}
+
+// TestBatchPlannerFoldsDuplicates drives InvokeBatchTracked directly:
+// identical (ref, input) jobs share one physical call, results fan back out
+// positionally, and stats count like the sequential memo path (first dup
+// passive, later dups memoized).
+func TestBatchPlannerFoldsDuplicates(t *testing.T) {
+	env, reg, counts := countingEnv(t, 2, 0)
+	ctx := query.NewContext(env, reg, 0)
+	sensors := env["sensors"]
+	bp, err := sensors.Schema().FindBP("getTemperature", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []string{"s000", "s001", "s000", "s000", "s001"}
+	inputs := make([]value.Tuple, len(refs))
+	for i := range inputs {
+		inputs[i] = value.Tuple{}
+	}
+	out := ctx.InvokeBatchTracked(bp, refs, inputs, nil)
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		want := float64(0)
+		if refs[i] == "s001" {
+			want = 1
+		}
+		if len(r.Rows) != 1 || r.Rows[0][0].Real() != want {
+			t.Fatalf("item %d (%s): rows = %v", i, refs[i], r.Rows)
+		}
+	}
+	if counts["s000"].Load() != 1 || counts["s001"].Load() != 1 {
+		t.Fatalf("physical calls = %d/%d, want 1/1 (duplicates not folded)",
+			counts["s000"].Load(), counts["s001"].Load())
+	}
+	if ctx.Stats.Passive != 2 || ctx.Stats.Memoized != 3 {
+		t.Fatalf("stats = %+v, want 2 passive / 3 memoized", ctx.Stats)
+	}
+}
+
+// batchSizeRecorder is a BatchCtxService that records the size of every
+// batch frame it receives.
+type batchSizeRecorder struct {
+	ref    string
+	mu     sync.Mutex
+	frames []int
+}
+
+func (b *batchSizeRecorder) Ref() string                  { return b.ref }
+func (b *batchSizeRecorder) PrototypeNames() []string     { return []string{"getTemperature"} }
+func (b *batchSizeRecorder) Implements(proto string) bool { return proto == "getTemperature" }
+
+func (b *batchSizeRecorder) Invoke(proto string, in value.Tuple, at service.Instant) ([]value.Tuple, error) {
+	return []value.Tuple{{value.NewReal(1)}}, nil
+}
+
+func (b *batchSizeRecorder) InvokeBatchCtx(_ context.Context, proto string, inputs []value.Tuple, _ service.Instant) []service.InvokeResult {
+	b.mu.Lock()
+	b.frames = append(b.frames, len(inputs))
+	b.mu.Unlock()
+	out := make([]service.InvokeResult, len(inputs))
+	for i := range out {
+		out[i] = service.InvokeResult{Rows: []value.Tuple{{value.NewReal(1)}}}
+	}
+	return out
+}
+
+// TestBatchChunksAtMaxBatch: a group larger than BatchSize is dispatched in
+// BatchSize-bounded frames, sequentially per service.
+func TestBatchChunksAtMaxBatch(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+		t.Fatal(err)
+	}
+	rec := &batchSizeRecorder{ref: "bulk"}
+	if err := reg.Register(rec); err != nil {
+		t.Fatal(err)
+	}
+	ctx := query.NewContext(query.MapEnv{}, reg, 0)
+	ctx.BatchSize = 4
+	ctx.Memo = nil // no folding: 10 distinct calls to one ref
+
+	bp, err := paperenv.SensorsSchema().FindBP("getTemperature", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 10
+	refs := make([]string, jobs)
+	inputs := make([]value.Tuple, jobs)
+	for i := range refs {
+		refs[i] = "bulk"
+		inputs[i] = value.Tuple{}
+	}
+	out := ctx.InvokeBatchTracked(bp, refs, inputs, nil)
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+	}
+	if want := []int{4, 4, 2}; len(rec.frames) != 3 || rec.frames[0] != want[0] || rec.frames[1] != want[1] || rec.frames[2] != want[2] {
+		t.Fatalf("frames = %v, want %v", rec.frames, want)
+	}
+}
+
+// TestBatchDegradationPerItem: per-item failures inside a batch go through
+// the same degradation policies as the per-tuple path, and the skipped[]
+// out-param marks absorbed failures so the delta cache won't remember them.
+func TestBatchDegradationPerItem(t *testing.T) {
+	build := func() (*query.Context, map[string]*atomic.Int64) {
+		reg := service.NewRegistry()
+		if err := reg.RegisterPrototype(device.GetTemperatureProto()); err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]*atomic.Int64{}
+		for i := 0; i < 4; i++ {
+			ref := fmt.Sprintf("s%03d", i)
+			c := &atomic.Int64{}
+			counts[ref] = c
+			bad := i%2 == 1
+			err := reg.Register(service.NewFunc(ref, map[string]service.InvokeFunc{
+				"getTemperature": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+					c.Add(1)
+					if bad {
+						return nil, errors.New("flaky")
+					}
+					return []value.Tuple{{value.NewReal(1)}}, nil
+				},
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return query.NewContext(query.MapEnv{}, reg, 0), counts
+	}
+	bp, err := paperenv.SensorsSchema().FindBP("getTemperature", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []string{"s000", "s001", "s002", "s003"}
+	inputs := []value.Tuple{{}, {}, {}, {}}
+
+	t.Run("skip", func(t *testing.T) {
+		ctx, _ := build()
+		ctx.Degradation = resilience.SkipTuple
+		skipped := make([]bool, len(refs))
+		out := ctx.InvokeBatchTracked(bp, refs, inputs, skipped)
+		for i := range refs {
+			bad := i%2 == 1
+			if bad != skipped[i] {
+				t.Fatalf("item %d: skipped = %v, want %v", i, skipped[i], bad)
+			}
+			if bad && (out[i].Err != nil || out[i].Rows != nil) {
+				t.Fatalf("item %d: skipped item should yield no rows, no error: %+v", i, out[i])
+			}
+			if !bad && len(out[i].Rows) != 1 {
+				t.Fatalf("item %d: rows = %v", i, out[i].Rows)
+			}
+		}
+	})
+	t.Run("nullfill", func(t *testing.T) {
+		ctx, _ := build()
+		ctx.Degradation = resilience.NullFill
+		skipped := make([]bool, len(refs))
+		out := ctx.InvokeBatchTracked(bp, refs, inputs, skipped)
+		for i := range refs {
+			if i%2 == 1 {
+				if !skipped[i] || len(out[i].Rows) != 1 || !out[i].Rows[0][0].IsNull() {
+					t.Fatalf("item %d: want one all-NULL row + skipped, got %+v skipped=%v", i, out[i], skipped[i])
+				}
+			}
+		}
+	})
+	t.Run("failfast", func(t *testing.T) {
+		ctx, _ := build()
+		ctx.Degradation = resilience.FailFast
+		out := ctx.InvokeBatchTracked(bp, refs, inputs, nil)
+		if out[1].Err == nil || out[3].Err == nil {
+			t.Fatalf("failing items must carry their error: %+v", out)
+		}
+		if out[0].Err != nil || out[2].Err != nil {
+			t.Fatalf("one item's failure must not fail its neighbours: %+v", out)
+		}
+	})
+}

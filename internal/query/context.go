@@ -20,10 +20,11 @@ import (
 // physical calls; these split them by binding-pattern mode and add memo and
 // degradation outcomes).
 var (
-	obsQueryActive   = obs.Default.Counter("query.invoke.active")
-	obsQueryPassive  = obs.Default.Counter("query.invoke.passive")
-	obsQueryMemoized = obs.Default.Counter("query.invoke.memoized")
-	obsQueryDegraded = obs.Default.Counter("query.invoke.degraded")
+	obsQueryActive    = obs.Default.Counter("query.invoke.active")
+	obsQueryPassive   = obs.Default.Counter("query.invoke.passive")
+	obsQueryMemoized  = obs.Default.Counter("query.invoke.memoized")
+	obsQueryDegraded  = obs.Default.Counter("query.invoke.degraded")
+	obsQueryCoalesced = obs.Default.Counter("query.invoke.coalesced")
 )
 
 // Action is one element of a query's action set (Definition 8): the
@@ -188,6 +189,15 @@ type Context struct {
 	// Values < 2 mean sequential.
 	Parallelism int
 
+	// BatchSize bounds how many invocations the batch planner packs into
+	// one registry dispatch (one wire frame for remote services). Zero
+	// means DefaultBatchSize when the registry holds at least one
+	// batch-capable service (a remote proxy) and per-tuple dispatch
+	// otherwise; positive forces the planner on at that chunk size;
+	// negative disables batching entirely (ablation and interop escape
+	// hatch).
+	BatchSize int
+
 	// Span is the enclosing trace span for this evaluation (nil when the
 	// evaluation is unsampled — the common case). When set, every β
 	// invocation records a per-tuple child span carrying the binding
@@ -223,10 +233,13 @@ func (e InvokeError) Error() string {
 }
 
 // InvokeStats counts the physical invocations performed through a context.
+// Coalesced counts lookups that joined another worker's in-flight call
+// instead of invoking — like Memoized, no physical call happened.
 type InvokeStats struct {
-	Passive  int64
-	Active   int64
-	Memoized int64
+	Passive   int64
+	Active    int64
+	Memoized  int64
+	Coalesced int64
 }
 
 // NewContext builds a one-shot evaluation context at the given instant.
@@ -273,12 +286,37 @@ func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input valu
 		return rows, nil
 	}
 	if c.Memo != nil {
-		if rows, ok := c.Memo.Get(bp.Proto.Name, ref, input); ok {
+		// Coalescing memo path: a hit returns the cached rows, a shared
+		// flight waits for the concurrent owner's result (closing the
+		// check-then-invoke-then-put window that let two parallel workers
+		// both invoke the same key), and an owner performs the one
+		// physical call for everyone.
+		cached, flight, st := c.Memo.Begin(bp.Proto.Name, ref, input)
+		switch st {
+		case service.BeginHit:
 			c.bump(&c.Stats.Memoized)
 			span.SetAttr("mode", "memoized")
+			c.finishInvokeSpan(span, cached)
+			return cached, nil
+		case service.BeginShared:
+			rows, err := flight.Wait()
+			if err != nil {
+				return c.invokeFailed(bp, ref, input, err, skipped, span)
+			}
+			c.bump(&c.Stats.Coalesced)
+			span.SetAttr("mode", "coalesced")
 			c.finishInvokeSpan(span, rows)
 			return rows, nil
 		}
+		span.SetAttr("mode", "passive")
+		rows, err := c.Registry.InvokeCtx(trace.ContextWith(c.ctx(), span), bp.Proto.Name, ref, input, c.At)
+		flight.Complete(rows, err)
+		if err != nil {
+			return c.invokeFailed(bp, ref, input, err, skipped, span)
+		}
+		c.bump(&c.Stats.Passive)
+		c.finishInvokeSpan(span, rows)
+		return rows, nil
 	}
 	span.SetAttr("mode", "passive")
 	rows, err := c.Registry.InvokeCtx(trace.ContextWith(c.ctx(), span), bp.Proto.Name, ref, input, c.At)
@@ -286,9 +324,6 @@ func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input valu
 		return c.invokeFailed(bp, ref, input, err, skipped, span)
 	}
 	c.bump(&c.Stats.Passive)
-	if c.Memo != nil {
-		c.Memo.Put(bp.Proto.Name, ref, input, rows)
-	}
 	c.finishInvokeSpan(span, rows)
 	return rows, nil
 }
@@ -311,15 +346,17 @@ func (c *Context) finishInvokeSpan(span *trace.Span, rows []value.Tuple) {
 func (c *Context) PublishObsStats() {
 	c.statsMu.Lock()
 	d := InvokeStats{
-		Passive:  c.Stats.Passive - c.published.Passive,
-		Active:   c.Stats.Active - c.published.Active,
-		Memoized: c.Stats.Memoized - c.published.Memoized,
+		Passive:   c.Stats.Passive - c.published.Passive,
+		Active:    c.Stats.Active - c.published.Active,
+		Memoized:  c.Stats.Memoized - c.published.Memoized,
+		Coalesced: c.Stats.Coalesced - c.published.Coalesced,
 	}
 	c.published = c.Stats
 	c.statsMu.Unlock()
 	obsQueryPassive.Add(d.Passive)
 	obsQueryActive.Add(d.Active)
 	obsQueryMemoized.Add(d.Memoized)
+	obsQueryCoalesced.Add(d.Coalesced)
 }
 
 // ctx returns the evaluation context's context.Context (never nil).

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"serena/internal/obs"
+	"serena/internal/resilience"
+	"serena/internal/value"
+)
+
+// Batch-dispatch metrics: how many batch calls the registry handled, how
+// many invocations they carried, and how many had to fall back to per-item
+// dispatch because the service has no batch transport.
+var (
+	obsBatchCalls     = obs.Default.Counter("service.invoke.batch.calls")
+	obsBatchItems     = obs.Default.Counter("service.invoke.batch.items")
+	obsBatchFallbacks = obs.Default.Counter("service.invoke.batch.fallbacks")
+)
+
+// DefaultBatchParallelism bounds the per-item fan-out used when a batched
+// invocation reaches a service without a batch transport.
+const DefaultBatchParallelism = 8
+
+// InvokeResult is one item's outcome within a batched invocation.
+type InvokeResult struct {
+	Rows []value.Tuple
+	Err  error
+}
+
+// BatchCtxService is an optional Service extension for implementations
+// whose transport can carry many invocations of one prototype in a single
+// round trip (the wire v3 batch frame). Results must be positional: out[i]
+// is input[i]'s outcome, and one item's failure must not fail its
+// neighbours.
+type BatchCtxService interface {
+	Service
+	InvokeBatchCtx(ctx context.Context, proto string, inputs []value.Tuple, at Instant) []InvokeResult
+}
+
+// InvokeBatchCtx performs invoke_ψ for many input tuples of one
+// (prototype, service) pair in a single registry call. Services exposing a
+// batch transport (remote proxies) get one round trip for the whole group;
+// local services are fanned out on a bounded worker pool through the exact
+// per-item InvokeCtx path, so retries, breakers and metrics behave as if
+// the caller had looped. Errors are per item — callers apply their own
+// degradation policy to each — except for resolution failures (unknown
+// prototype/service), which uniformly fail every item.
+func (r *Registry) InvokeBatchCtx(ctx context.Context, proto, ref string, inputs []value.Tuple, at Instant) []InvokeResult {
+	out := make([]InvokeResult, len(inputs))
+	if len(inputs) == 0 {
+		return out
+	}
+	obsBatchCalls.Inc()
+	obsBatchItems.Add(int64(len(inputs)))
+
+	r.mu.RLock()
+	p, okP := r.protos[proto]
+	e, okS := r.services[ref]
+	breakers := r.breakers
+	timeout := r.invokeTimeout
+	r.mu.RUnlock()
+	failAll := func(err error) []InvokeResult {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	if !okP {
+		return failAll(fmt.Errorf("%w: %s", ErrUnknownPrototype, proto))
+	}
+	if !okS {
+		return failAll(fmt.Errorf("%w: %s", ErrUnknownService, ref))
+	}
+	bs, hasBatch := e.svc.(BatchCtxService)
+	if !hasBatch {
+		// No batch transport: bounded per-item fan-out through InvokeCtx so
+		// every item keeps the full retry/breaker/metric treatment.
+		obsBatchFallbacks.Inc()
+		workers := DefaultBatchParallelism
+		if workers > len(inputs) {
+			workers = len(inputs)
+		}
+		if workers < 2 { // degenerate batch: no pool, no goroutines
+			for i, in := range inputs {
+				out[i].Rows, out[i].Err = r.InvokeCtx(ctx, proto, ref, in, at)
+			}
+			return out
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i].Rows, out[i].Err = r.InvokeCtx(ctx, proto, ref, inputs[i], at)
+				}
+			}()
+		}
+		for i := range inputs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		return out
+	}
+
+	if !e.svc.Implements(proto) {
+		return failAll(fmt.Errorf("%w: %s on %s", ErrNotImplemented, proto, ref))
+	}
+	if breakers != nil && !breakers.Allow(ref) {
+		obsInvokeShortCirc.Inc()
+		return failAll(fmt.Errorf("service: invoke %s on %s: %w", proto, ref, resilience.ErrOpen))
+	}
+	// Conform every input before dispatch; malformed items fail locally and
+	// are excluded from the frame.
+	conf := make([]value.Tuple, 0, len(inputs))
+	pos := make([]int, 0, len(inputs))
+	for i, in := range inputs {
+		c, err := p.Input.Conforms(in)
+		if err != nil {
+			out[i].Err = fmt.Errorf("service: invoke %s on %s: input: %w", proto, ref, err)
+			continue
+		}
+		conf = append(conf, c)
+		pos = append(pos, i)
+	}
+	if len(conf) == 0 {
+		return out
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	im := e.metricsFor(proto, ref)
+	results := bs.InvokeBatchCtx(ctx, proto, conf, at)
+	for bi, res := range results {
+		if bi >= len(pos) {
+			break
+		}
+		i := pos[bi]
+		obsInvokeCalls.Inc()
+		im.calls.Inc()
+		if breakers != nil {
+			breakers.OnResult(ref, res.Err == nil)
+		}
+		if res.Err != nil {
+			obsInvokeFailures.Inc()
+			im.failures.Inc()
+			out[i].Err = fmt.Errorf("service: invoke %s on %s: %w", proto, ref, res.Err)
+			continue
+		}
+		rows := make([]value.Tuple, len(res.Rows))
+		var convErr error
+		for j, row := range res.Rows {
+			c, err := p.Output.Conforms(row)
+			if err != nil {
+				convErr = fmt.Errorf("service: invoke %s on %s: output tuple %d: %w", proto, ref, j, err)
+				break
+			}
+			rows[j] = c
+		}
+		if convErr != nil {
+			out[i].Err = convErr
+			continue
+		}
+		out[i].Rows = rows
+	}
+	// A short frame (buggy transport) fails the unanswered tail explicitly
+	// rather than returning silent empty results.
+	for bi := len(results); bi < len(pos); bi++ {
+		out[pos[bi]].Err = fmt.Errorf("service: invoke %s on %s: batch transport returned %d of %d results", proto, ref, len(results), len(pos))
+	}
+	return out
+}

@@ -12,14 +12,26 @@ import (
 // exploits that to avoid re-invoking a passive prototype with identical
 // arguments during one query evaluation or one continuous-query tick.
 //
+// Concurrent lookups of the same key are coalesced: the first caller owns
+// an in-flight entry and performs the physical call, later callers wait for
+// its result instead of invoking again. Without coalescing a check-then-
+// invoke-then-put memo lets two parallel workers both miss and both invoke
+// — a duplicate passive call within one instant, which Section 3.2's
+// determinism says is pure waste (and, for metered services, a real cost).
+//
 // Active prototypes must NEVER be memoized: each occurrence in a query is a
 // distinct action with a physical side effect.
 type Memo struct {
 	mu sync.Mutex
 	at Instant
-	m  map[memoKey][]value.Tuple
-	// Hits and Misses are simple counters for the ablation benchmarks.
-	hits, misses int64
+	// m holds one entry per key, in-flight or completed: a completed entry
+	// IS the cached result. One map keeps the hot miss path at a single
+	// lookup plus a single insert (Complete publishes in place, touching no
+	// map), which matters because β fan-out pays this cost per tuple.
+	m map[memoKey]*Flight
+	// Hits, misses and coalesced-waits are simple counters for the
+	// ablation benchmarks and the coalesce-hit metrics.
+	hits, misses, coalesced int64
 }
 
 type memoKey struct {
@@ -30,35 +42,149 @@ type memoKey struct {
 
 // NewMemo returns a memo bound to the given instant.
 func NewMemo(at Instant) *Memo {
-	return &Memo{at: at, m: make(map[memoKey][]value.Tuple)}
+	return &Memo{at: at, m: make(map[memoKey]*Flight)}
 }
 
 // Instant returns the instant this memo is valid for.
 func (m *Memo) Instant() Instant { return m.at }
 
-// Get returns a cached result for (proto, ref, input).
+// Get returns a cached result for (proto, ref, input). An in-flight entry
+// is a miss: Get does not coalesce (use Begin or Do for that).
 func (m *Memo) Get(proto, ref string, input value.Tuple) ([]value.Tuple, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	rows, ok := m.m[memoKey{proto, ref, input.Key()}]
-	if ok {
+	if f, ok := m.m[memoKey{proto, ref, input.Key()}]; ok && f.completed {
 		m.hits++
-	} else {
-		m.misses++
+		return f.rows, true
 	}
-	return rows, ok
+	m.misses++
+	return nil, false
 }
 
 // Put stores an invocation result.
 func (m *Memo) Put(proto, ref string, input value.Tuple, rows []value.Tuple) {
+	key := memoKey{proto, ref, input.Key()}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.m[memoKey{proto, ref, input.Key()}] = rows
+	m.m[key] = &Flight{completed: true, memo: m, key: key, rows: rows}
 }
 
-// Stats returns (hits, misses) since creation.
+// Stats returns (hits, misses) since creation. A coalesced wait counts as a
+// hit — the caller got a result without a physical call.
 func (m *Memo) Stats() (hits, misses int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.hits, m.misses
+	return m.hits + m.coalesced, m.misses
+}
+
+// Coalesced returns how many lookups joined another caller's in-flight
+// invocation instead of performing their own.
+func (m *Memo) Coalesced() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.coalesced
+}
+
+// Flight is one memo entry for a (proto, ref, input) key, in-flight until
+// its owner (the caller Begin told to invoke) Completes it — exactly once;
+// everyone else Waits. Flight state is guarded by the memo's mutex; the
+// wake-up channel is only allocated when a waiter actually parks, so the
+// common uncontended miss pays no channel.
+type Flight struct {
+	done      chan struct{} // created lazily by the first Wait
+	completed bool
+	memo      *Memo
+	key       memoKey
+	rows      []value.Tuple
+	err       error
+}
+
+// BeginStatus reports a Begin caller's role.
+type BeginStatus uint8
+
+// Begin outcomes.
+const (
+	// BeginHit: the key was already memoized; rows are valid.
+	BeginHit BeginStatus = iota
+	// BeginOwner: the caller must perform the invocation and Complete the
+	// returned flight.
+	BeginOwner
+	// BeginShared: another caller is invoking; Wait on the returned flight.
+	BeginShared
+)
+
+// Begin is the coalescing entry point: it returns the cached rows
+// (BeginHit), registers the caller as the single invoker of a new in-flight
+// entry (BeginOwner), or hands back another caller's in-flight entry to
+// wait on (BeginShared). Owners MUST call Flight.Complete — even on error —
+// or waiters block forever.
+func (m *Memo) Begin(proto, ref string, input value.Tuple) ([]value.Tuple, *Flight, BeginStatus) {
+	key := memoKey{proto, ref, input.Key()}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.m[key]; ok {
+		if f.completed {
+			m.hits++
+			return f.rows, nil, BeginHit
+		}
+		m.coalesced++
+		return nil, f, BeginShared
+	}
+	m.misses++
+	f := &Flight{memo: m, key: key}
+	m.m[key] = f
+	return nil, f, BeginOwner
+}
+
+// Complete publishes the owner's result: a successful invocation is
+// memoized, a failed one only wakes the waiters (errors are never cached —
+// the key is invokable again, e.g. by the next instant's retry).
+func (f *Flight) Complete(rows []value.Tuple, err error) {
+	m := f.memo
+	m.mu.Lock()
+	f.rows, f.err = rows, err
+	f.completed = true
+	if err != nil {
+		delete(m.m, f.key)
+	}
+	done := f.done
+	m.mu.Unlock()
+	if done != nil {
+		close(done)
+	}
+}
+
+// Wait blocks until the flight's owner Completes and returns its result.
+func (f *Flight) Wait() ([]value.Tuple, error) {
+	m := f.memo
+	m.mu.Lock()
+	if f.completed {
+		defer m.mu.Unlock()
+		return f.rows, f.err
+	}
+	if f.done == nil {
+		f.done = make(chan struct{})
+	}
+	done := f.done
+	m.mu.Unlock()
+	<-done
+	return f.rows, f.err
+}
+
+// Do runs fn for (proto, ref, input) at most once concurrently: a memo hit
+// or a join of an in-flight call returns the shared result (shared=true)
+// without running fn. Errors are propagated to every waiter and never
+// cached.
+func (m *Memo) Do(proto, ref string, input value.Tuple, fn func() ([]value.Tuple, error)) (rows []value.Tuple, shared bool, err error) {
+	rows, f, st := m.Begin(proto, ref, input)
+	switch st {
+	case BeginHit:
+		return rows, true, nil
+	case BeginShared:
+		rows, err = f.Wait()
+		return rows, true, err
+	}
+	rows, err = fn()
+	f.Complete(rows, err)
+	return rows, false, err
 }

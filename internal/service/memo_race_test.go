@@ -1,0 +1,125 @@
+package service_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"serena/internal/service"
+	"serena/internal/value"
+)
+
+// TestMemoDoCoalescesConcurrentDuplicates is the regression test for the
+// check-then-invoke race: N goroutines asking for the same (proto, ref,
+// input) at the same instant must share ONE physical invocation — the
+// paper's Section 3.2 determinism makes all answers at an instant
+// interchangeable, so the duplicates were pure over-firing.
+func TestMemoDoCoalescesConcurrentDuplicates(t *testing.T) {
+	const goroutines = 32
+	m := service.NewMemo(7)
+	var invocations atomic.Int64
+	want := []value.Tuple{{value.NewReal(21.5)}}
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	errs := make([]error, goroutines)
+	rows := make([][]value.Tuple, goroutines)
+	for g := 0; g < goroutines; g++ {
+		done.Add(1)
+		go func(g int) {
+			defer done.Done()
+			start.Wait() // maximize overlap
+			r, _, err := m.Do("getTemperature", "sensor01", value.Tuple{}, func() ([]value.Tuple, error) {
+				invocations.Add(1)
+				time.Sleep(2 * time.Millisecond) // widen the race window
+				return want, nil
+			})
+			rows[g], errs[g] = r, err
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+
+	if n := invocations.Load(); n != 1 {
+		t.Fatalf("%d concurrent duplicates fired %d physical invocations, want 1", goroutines, n)
+	}
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if len(rows[g]) != 1 || rows[g][0][0].Real() != 21.5 {
+			t.Fatalf("goroutine %d got %v", g, rows[g])
+		}
+	}
+	hits, misses := m.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+	if m.Coalesced() != goroutines-1 {
+		t.Fatalf("coalesced = %d, want %d", m.Coalesced(), goroutines-1)
+	}
+	if hits != goroutines-1 { // Stats folds coalesced waiters into hits
+		t.Fatalf("hits = %d, want %d", hits, goroutines-1)
+	}
+}
+
+// TestMemoErrorPropagatesToWaitersAndIsNotCached: waiters coalesced onto a
+// failing flight see its error, and the failure is NOT cached — the next
+// Begin for the same key owns a fresh flight so the call can be retried.
+func TestMemoErrorPropagatesToWaitersAndIsNotCached(t *testing.T) {
+	m := service.NewMemo(1)
+	boom := errors.New("transient")
+
+	rows, fl, st := m.Begin("p", "svc", value.Tuple{})
+	if st != service.BeginOwner || rows != nil {
+		t.Fatalf("first Begin: status=%v rows=%v", st, rows)
+	}
+
+	var waiterErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, shared, err := m.Do("p", "svc", value.Tuple{}, func() ([]value.Tuple, error) {
+			t.Error("waiter must not invoke while the owner's flight is open")
+			return nil, nil
+		})
+		if !shared {
+			t.Error("second Do should have coalesced onto the open flight")
+		}
+		waiterErr = err
+	}()
+
+	time.Sleep(2 * time.Millisecond) // let the waiter park on the flight
+	fl.Complete(nil, boom)
+	wg.Wait()
+	if !errors.Is(waiterErr, boom) {
+		t.Fatalf("waiter error = %v, want %v", waiterErr, boom)
+	}
+
+	// Errors are not cached: the key must be re-ownable.
+	if _, _, st := m.Begin("p", "svc", value.Tuple{}); st != service.BeginOwner {
+		t.Fatalf("after a failed flight Begin = %v, want BeginOwner (retry allowed)", st)
+	}
+}
+
+// TestMemoBeginHitAfterComplete: a successful flight caches its rows, so a
+// later Begin at the same instant is a plain hit with no flight.
+func TestMemoBeginHitAfterComplete(t *testing.T) {
+	m := service.NewMemo(3)
+	want := []value.Tuple{{value.NewBool(true)}}
+	_, fl, st := m.Begin("p", "svc", value.Tuple{value.NewString("x")})
+	if st != service.BeginOwner {
+		t.Fatalf("status = %v", st)
+	}
+	fl.Complete(want, nil)
+	rows, fl2, st := m.Begin("p", "svc", value.Tuple{value.NewString("x")})
+	if st != service.BeginHit || fl2 != nil {
+		t.Fatalf("status = %v, flight = %v, want plain hit", st, fl2)
+	}
+	if len(rows) != 1 || !rows[0][0].Bool() {
+		t.Fatalf("rows = %v", rows)
+	}
+}

@@ -124,6 +124,12 @@ type Registry struct {
 	watchers map[int]chan Event
 	nextW    int
 
+	// batchable counts registered services exposing a batch transport
+	// (BatchCtxService — remote proxies). The query planner consults it:
+	// with none registered, batching is pure overhead over the per-item
+	// path, so its default stays off.
+	batchable int
+
 	invokeTimeout time.Duration
 	retry         resilience.RetryPolicy
 	breakers      *resilience.BreakerSet
@@ -197,6 +203,9 @@ func (r *Registry) Register(s Service) error {
 		}
 	}
 	r.services[s.Ref()] = &svcEntry{svc: s}
+	if _, ok := s.(BatchCtxService); ok {
+		r.batchable++
+	}
 	if r.breakers != nil {
 		// A (re)registered service starts with a clean slate: whatever
 		// failure history its reference accumulated belongs to the departed
@@ -218,9 +227,20 @@ func (r *Registry) Unregister(ref string) error {
 		return fmt.Errorf("%w: %s", ErrUnknownService, ref)
 	}
 	delete(r.services, ref)
+	if _, ok := e.svc.(BatchCtxService); ok {
+		r.batchable--
+	}
 	r.broadcastLocked(Event{Kind: Removed, Ref: ref, Prototypes: e.svc.PrototypeNames()})
 	r.mu.Unlock()
 	return nil
+}
+
+// HasBatchTransport reports whether any registered service can carry many
+// invocations in one frame (a BatchCtxService, e.g. a wire.Remote proxy).
+func (r *Registry) HasBatchTransport() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.batchable > 0
 }
 
 // Lookup resolves a service reference.

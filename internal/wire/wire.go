@@ -18,7 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"serena/internal/obs"
@@ -29,12 +31,15 @@ import (
 )
 
 // Version is the wire protocol version stamped on every request. Version 2
-// added the trace-context fields (Ver, TraceID, SpanID). Interop is
-// bidirectional without negotiation because gob ignores fields the receiver
-// does not know and zero-values fields the sender did not write: a v1 server
-// sees a v2 request as a v1 request, and a v2 server sees a v1 request with
-// TraceID 0 — the "not traced" sentinel.
-const Version = 2
+// added the trace-context fields (Ver, TraceID, SpanID); version 3 added the
+// "batch" op carrying many invocations per round trip (Items/ItemResults).
+// Interop is bidirectional without negotiation because gob ignores fields
+// the receiver does not know and zero-values fields the sender did not
+// write: a v1 server sees a v2 request as a v1 request, and a v2 server sees
+// a v1 request with TraceID 0 — the "not traced" sentinel. A pre-v3 server
+// answers a batch frame with "unknown op", which the client takes as the
+// signal to fall back to per-item invokes for the rest of the connection.
+const Version = 3
 
 // Wire metrics: round-trip latency and outcome counters, plus connection
 // churn (dials cover both the first connect and every redial).
@@ -46,6 +51,12 @@ var (
 	obsWireTimeouts = obs.Default.Counter("wire.roundtrip.timeouts")
 	obsWireDials    = obs.Default.Counter("wire.dials")
 	obsWireConnLost = obs.Default.Counter("wire.connections_lost")
+
+	// Batch-frame metrics: frames sent, invocations they carried, and
+	// frames degraded to per-item invokes against pre-v3 peers.
+	obsWireBatchCalls     = obs.Default.Counter("wire.batch.calls")
+	obsWireBatchItems     = obs.Default.Counter("wire.batch.items")
+	obsWireBatchFallbacks = obs.Default.Counter("wire.batch.fallbacks")
 )
 
 // Value is the wire form of value.Value (gob needs exported fields).
@@ -139,6 +150,27 @@ type Request struct {
 	// trace. 0 means the invocation is not traced.
 	TraceID uint64
 	SpanID  uint64
+	// Items carries a batch of invocations (Op "batch", since Version 3);
+	// the per-request Proto/Ref/Input fields are unused for that op.
+	Items []BatchItem
+}
+
+// BatchItem is one invocation within a batch frame. Carrying proto and ref
+// per item keeps the frame general (a future planner may mix refs), though
+// the current batch planner groups by (proto, ref) before dispatch.
+type BatchItem struct {
+	Proto string
+	Ref   string
+	Input []Value
+	At    int64
+}
+
+// BatchItemResult is one item's outcome within a batch response: results
+// are positional (Items[i] → ItemResults[i]) and per item, so one bad tuple
+// does not fail the frame.
+type BatchItemResult struct {
+	Err  string
+	Rows [][]Value
 }
 
 // ServiceInfo describes one hosted service.
@@ -149,27 +181,44 @@ type ServiceInfo struct {
 
 // Response is the union of server→client messages.
 type Response struct {
-	ID       uint64
-	Err      string
-	Rows     [][]Value     // invoke
-	Node     string        // describe
-	Services []ServiceInfo // describe
+	ID          uint64
+	Err         string
+	Rows        [][]Value         // invoke
+	Node        string            // describe
+	Services    []ServiceInfo     // describe
+	ItemResults []BatchItemResult // batch (since Version 3)
 }
+
+// DefaultServerBatchParallelism bounds how many items of one batch frame
+// the server executes concurrently.
+const DefaultServerBatchParallelism = 8
 
 // Server exposes a Local ERM's services over TCP.
 type Server struct {
 	node string
 	reg  *service.Registry
 
-	mu    sync.Mutex
-	ln    net.Listener
-	conns map[net.Conn]bool
-	done  chan struct{}
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]bool
+	done     chan struct{}
+	batchPar int
 }
 
 // NewServer wraps a registry of local services under a node name.
 func NewServer(node string, reg *service.Registry) *Server {
-	return &Server{node: node, reg: reg, conns: make(map[net.Conn]bool), done: make(chan struct{})}
+	return &Server{node: node, reg: reg, conns: make(map[net.Conn]bool), done: make(chan struct{}), batchPar: DefaultServerBatchParallelism}
+}
+
+// SetBatchParallelism bounds concurrent execution of one batch frame's
+// items. Values < 2 execute items sequentially.
+func (s *Server) SetBatchParallelism(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	s.batchPar = n
 }
 
 // Node returns the node name.
@@ -296,8 +345,69 @@ func (s *Server) handle(req *Request) *Response {
 			resp.Rows[i] = EncodeTuple(row)
 		}
 		return resp
+
+	case "batch":
+		return s.handleBatch(req)
 	}
 	return &Response{Err: fmt.Sprintf("wire: unknown op %q", req.Op)}
+}
+
+// handleBatch executes a v3 batch frame: every item independently, on a
+// bounded worker pool, with per-item errors so one bad tuple cannot fail
+// its neighbours. Results are positional.
+func (s *Server) handleBatch(req *Request) *Response {
+	span := trace.Default.StartRemote("wire.server.batch", req.TraceID, req.SpanID)
+	span.SetAttr("node", s.node)
+	span.SetAttrInt("items", int64(len(req.Items)))
+	defer span.Finish()
+	results := make([]BatchItemResult, len(req.Items))
+	run := func(i int) {
+		item := req.Items[i]
+		input, err := DecodeTuple(item.Input)
+		if err != nil {
+			results[i].Err = err.Error()
+			return
+		}
+		rows, err := s.reg.InvokeCtx(trace.ContextWith(context.Background(), span), item.Proto, item.Ref, input, service.Instant(item.At))
+		if err != nil {
+			results[i].Err = err.Error()
+			return
+		}
+		enc := make([][]Value, len(rows))
+		for j, row := range rows {
+			enc[j] = EncodeTuple(row)
+		}
+		results[i].Rows = enc
+	}
+	s.mu.Lock()
+	workers := s.batchPar
+	s.mu.Unlock()
+	if workers > len(req.Items) {
+		workers = len(req.Items)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					run(i)
+				}
+			}()
+		}
+		for i := range req.Items {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i := range req.Items {
+			run(i)
+		}
+	}
+	return &Response{ItemResults: results}
 }
 
 // Client is a multiplexed connection to a Local ERM node: any number of
@@ -323,6 +433,11 @@ type Client struct {
 	cur    *clientConn
 	nextID uint64
 	closed bool
+
+	// batchUnsupported latches once a peer answers a batch frame with
+	// "unknown op": every later batch degrades straight to per-item
+	// invokes without re-probing (the peer will not upgrade mid-flight).
+	batchUnsupported atomic.Bool
 }
 
 // clientConn is one physical connection's state. Keeping the pending map
@@ -605,6 +720,108 @@ func (c *Client) InvokeCtx(ctx context.Context, proto, ref string, input value.T
 	return rows, nil
 }
 
+// InvokeBatchCtx performs many invocations of one (proto, ref) pair in a
+// single round trip (wire v3 batch frame). Results are positional and
+// per-item. A pre-v3 peer answers "unknown op"; the client then latches the
+// connection as batch-incapable and degrades to per-item InvokeCtx calls —
+// transparent to callers beyond the lost batching win. Transport failures
+// (the frame itself failed) uniformly fail every item.
+func (c *Client) InvokeBatchCtx(ctx context.Context, proto, ref string, inputs []value.Tuple, at service.Instant) []service.InvokeResult {
+	out := make([]service.InvokeResult, len(inputs))
+	if len(inputs) == 0 {
+		return out
+	}
+	if c.batchUnsupported.Load() {
+		return c.invokeBatchFallback(ctx, proto, ref, inputs, at)
+	}
+	obsWireBatchCalls.Inc()
+	obsWireBatchItems.Add(int64(len(inputs)))
+	items := make([]BatchItem, len(inputs))
+	for i, in := range inputs {
+		items[i] = BatchItem{Proto: proto, Ref: ref, Input: EncodeTuple(in), At: int64(at)}
+	}
+	resp, err := c.roundTripCtx(ctx, &Request{Op: "batch", Items: items})
+	if err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	if resp.Err != "" {
+		if strings.Contains(resp.Err, "unknown op") {
+			// Pre-v3 peer: remember and degrade to per-item invokes.
+			c.batchUnsupported.Store(true)
+			return c.invokeBatchFallback(ctx, proto, ref, inputs, at)
+		}
+		ferr := errors.New(resp.Err)
+		for i := range out {
+			out[i].Err = ferr
+		}
+		return out
+	}
+	for i := range out {
+		if i >= len(resp.ItemResults) {
+			out[i].Err = fmt.Errorf("wire: %s: batch response carried %d of %d results", c.addr, len(resp.ItemResults), len(inputs))
+			continue
+		}
+		res := resp.ItemResults[i]
+		if res.Err != "" {
+			out[i].Err = errors.New(res.Err)
+			continue
+		}
+		rows := make([]value.Tuple, len(res.Rows))
+		var decErr error
+		for j, r := range res.Rows {
+			t, err := DecodeTuple(r)
+			if err != nil {
+				decErr = err
+				break
+			}
+			rows[j] = t
+		}
+		if decErr != nil {
+			out[i].Err = decErr
+			continue
+		}
+		out[i].Rows = rows
+	}
+	return out
+}
+
+// invokeBatchFallback is the pre-v3 degradation: per-item round trips on a
+// bounded pool, preserving the batch call's positional per-item contract.
+func (c *Client) invokeBatchFallback(ctx context.Context, proto, ref string, inputs []value.Tuple, at service.Instant) []service.InvokeResult {
+	obsWireBatchFallbacks.Inc()
+	out := make([]service.InvokeResult, len(inputs))
+	workers := service.DefaultBatchParallelism
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers < 2 {
+		for i, in := range inputs {
+			out[i].Rows, out[i].Err = c.InvokeCtx(ctx, proto, ref, in, at)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i].Rows, out[i].Err = c.InvokeCtx(ctx, proto, ref, inputs[i], at)
+			}
+		}()
+	}
+	for i := range inputs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
 // Remote wraps one remote service behind a client connection so it
 // satisfies service.Service — the core ERM registers these proxies, making
 // remote invocation transparent to queries (Section 5.1).
@@ -643,4 +860,11 @@ func (r *Remote) Invoke(proto string, input value.Tuple, at service.Instant) ([]
 // being enforced by goroutine abandonment.
 func (r *Remote) InvokeCtx(ctx context.Context, proto string, input value.Tuple, at service.Instant) ([]value.Tuple, error) {
 	return r.client.InvokeCtx(ctx, proto, r.ref, input, at)
+}
+
+// InvokeBatchCtx implements service.BatchCtxService: the registry hands a
+// whole (proto, ref) group to the proxy, which ships it as one wire v3
+// batch frame (or degrades to per-item round trips against pre-v3 peers).
+func (r *Remote) InvokeBatchCtx(ctx context.Context, proto string, inputs []value.Tuple, at service.Instant) []service.InvokeResult {
+	return r.client.InvokeBatchCtx(ctx, proto, r.ref, inputs, at)
 }

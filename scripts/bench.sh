@@ -6,6 +6,9 @@
 # Environment:
 #   BENCHTIME   per-benchmark time or iteration budget (default 1s; CI uses
 #               a small value like 10x to keep runs fast)
+#   BENCHCOUNT  runs per benchmark (default 3); benchfmt keeps the fastest
+#               run, so repeated runs filter out scheduler noise on shared
+#               machines
 #   BENCH       benchmark name filter (default: all)
 #   OUT         output file (default: BENCH_$(date +%F).json)
 #
@@ -16,6 +19,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
+BENCHCOUNT="${BENCHCOUNT:-3}"
 BENCH="${BENCH:-.}"
 OUT="${OUT:-BENCH_$(date +%F).json}"
 
@@ -32,9 +36,9 @@ done
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-echo "running benchmarks (bench=$BENCH benchtime=$BENCHTIME)..." >&2
+echo "running benchmarks (bench=$BENCH benchtime=$BENCHTIME count=$BENCHCOUNT)..." >&2
 # -run=^$ skips unit tests; benchmarks only.
-go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" ./... | tee "$raw" >&2
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count "$BENCHCOUNT" ./... | tee "$raw" >&2
 
 go run ./cmd/benchfmt -go "$(go version | cut -d' ' -f3)" \
 	-sha "$SHA" -parent "$PARENT" -o "$OUT" <"$raw"
