@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-check experiments fuzz examples fmt vet check clean
+.PHONY: all build test race cover bench bench-check soak experiments fuzz examples fmt vet check clean
 
 all: build vet test
 
@@ -40,6 +40,12 @@ bench:
 bench-check:
 	OUT=BENCH_check.json sh scripts/bench.sh
 	$(GO) run ./cmd/benchfmt -diff BENCH_check.json
+
+# Overload soak: flood a bounded stream at ~2× drain capacity under -race
+# and assert bounded memory, honored sheds and an intact action set; plus
+# the SIGKILL crash-during-overload variant (see scripts/soak.sh).
+soak:
+	sh scripts/soak.sh
 
 # Regenerate the EXPERIMENTS.md tables.
 experiments:

@@ -60,6 +60,9 @@ func main() {
 	breakers := flag.Bool("breakers", false, "enable per-service circuit breakers")
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive failures before a breaker opens")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-state cooldown before a half-open probe")
+	tickBudget := flag.Duration("tick-budget", 0, "tick duration budget; longer ticks count as overruns (0 = none)")
+	coalesce := flag.Bool("coalesce", false, "after a tick overrun, skip passive-only queries one instant (never queries feeding actions)")
+	maxInFlight := flag.Int("max-inflight", 0, "cap concurrent service invocations; excess fails fast as overloaded (0 = unlimited)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/serena on this address (e.g. 127.0.0.1:8077)")
 	traceSample := flag.Int64("trace-sample", trace.DefaultSampleEvery, "trace one in N ticks/evaluations (0 disables tracing)")
 	dataDir := flag.String("data-dir", "", "enable durability: WAL + checkpoints in this directory")
@@ -91,6 +94,15 @@ func main() {
 	}
 	if *batchSize != 0 {
 		p.SetInvocationBatchSize(*batchSize)
+	}
+	if *tickBudget > 0 {
+		p.SetTickBudget(*tickBudget)
+	}
+	if *coalesce {
+		p.SetOverloadCoalescing(true)
+	}
+	if *maxInFlight > 0 {
+		p.SetAdmissionLimit(*maxInFlight, 0, 0)
 	}
 	if *retries > 1 {
 		rp := resilience.DefaultRetry()
@@ -409,6 +421,7 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
   .trace <query>                  run a one-shot query with tracing forced, show span tree
   .lineage <query|""> [key]       list retained invocations feeding a query / touching a tuple
   .sample <n>                     trace one in n ticks/evaluations (0 = off)
+  .overload                       show tick budget, admission and ingest-buffer posture
   .metrics                        dump the process-wide metrics registry
   .dump                           print the environment as re-executable DDL
   .checkpoint                     force a durable snapshot now (-data-dir)
@@ -692,6 +705,8 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
 		fmt.Fprintf(out, "ticks:           %d re-evaluated\n", r.Ticks)
 		fmt.Fprintf(out, "orphans:         %d active invocation(s) pinned, never re-fired\n", r.Orphans)
 		fmt.Fprintf(out, "truncated bytes: %d (damaged tail discarded)\n", r.TruncatedBytes)
+	case ".overload":
+		fmt.Fprint(out, p.OverloadReport())
 	case ".metrics":
 		fmt.Fprint(out, obs.Default.Snapshot().Render())
 	case ".dump":

@@ -12,6 +12,7 @@ import (
 	"serena/internal/algebra"
 	"serena/internal/ddl"
 	"serena/internal/query"
+	"serena/internal/resilience"
 	"serena/internal/schema"
 	"serena/internal/service"
 	"serena/internal/stream"
@@ -134,6 +135,13 @@ func (c *Catalog) Execute(st ddl.Statement, at service.Instant) error {
 			x = stream.NewInfinite(sch)
 		} else {
 			x = stream.NewFinite(sch)
+		}
+		if t.OnOverload != "" {
+			pol, err := resilience.ParseOverloadPolicy(t.OnOverload)
+			if err != nil {
+				return fmt.Errorf("catalog: relation %q: %w", t.Name, err)
+			}
+			x.SetOverloadPolicy(pol, t.Capacity)
 		}
 		c.mu.Lock()
 		if _, dup := c.rels[t.Name]; dup {

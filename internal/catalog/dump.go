@@ -105,6 +105,10 @@ func relationDDL(x *stream.XDRelation) string {
 	if x.Infinite() {
 		ddl = strings.Replace(ddl, "EXTENDED RELATION ", "EXTENDED STREAM ", 1)
 	}
+	if pol, capacity, ok := x.OverloadPolicy(); ok {
+		ddl = fmt.Sprintf("%s ON OVERLOAD %s CAPACITY %d;",
+			strings.TrimSuffix(ddl, ";"), pol, capacity)
+	}
 	return ddl
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"serena/internal/catalog"
 	"serena/internal/paperenv"
+	"serena/internal/resilience"
 	"serena/internal/service"
 	"serena/internal/value"
 )
@@ -132,5 +133,36 @@ func TestDumpRoundTripActiveAndControlChars(t *testing.T) {
 	restored, _ := c2.Relation("contacts")
 	if !restored.Schema().Equal(orig.Schema()) {
 		t.Fatal("binding patterns lost through dump/restore")
+	}
+}
+
+// TestDumpRoundTripOverloadPolicy: an ON OVERLOAD clause survives dump and
+// restore, so WAL replay and checkpoints rebuild the ingest bound.
+func TestDumpRoundTripOverloadPolicy(t *testing.T) {
+	c := newCatalog(t)
+	if err := c.ExecuteScript(`
+		EXTENDED STREAM firehose ( src SERVICE, v REAL )
+		ON OVERLOAD SHED_NEWEST CAPACITY 32;`, 0); err != nil {
+		t.Fatal(err)
+	}
+	dump := c.Dump()
+	if !strings.Contains(dump, "ON OVERLOAD SHED_NEWEST CAPACITY 32;") {
+		t.Fatalf("dump missing overload clause:\n%s", dump)
+	}
+	reg2, _ := paperenv.MustRegistry()
+	c2 := catalog.New(reg2)
+	if err := c2.ExecuteScript(dump, 0); err != nil {
+		t.Fatalf("restoring dump failed: %v\n%s", err, dump)
+	}
+	x, err := c2.Relation("firehose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, capacity, ok := x.OverloadPolicy()
+	if !ok || pol != resilience.ShedNewest || capacity != 32 {
+		t.Fatalf("restored policy = %v/%d/%v", pol, capacity, ok)
+	}
+	if c2.Dump() != dump {
+		t.Fatal("dump not idempotent across restore")
 	}
 }

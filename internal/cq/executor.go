@@ -75,6 +75,14 @@ type Executor struct {
 	dur Durability
 	// onCheckpoint persists a state snapshot when dur reports one is due.
 	onCheckpoint func(CheckpointState) error
+	// Overload protection (see overload.go): tickBudget is the soft tick
+	// deadline (0 = none); coalescePassive lets the tick after an overrun
+	// skip shedable passive-only queries; overranLast carries the overrun
+	// signal from one tick to the next; tickOverruns counts them.
+	tickBudget      time.Duration
+	coalescePassive bool
+	overranLast     bool
+	tickOverruns    int64
 }
 
 // Source is a data producer pumped at the start of every tick, before
@@ -198,6 +206,13 @@ type Query struct {
 	// degradation selects the query's β failure policy (guarded by mu;
 	// resilience.Default behaves like SkipTuple here).
 	degradation resilience.DegradationPolicy
+
+	// hasActive marks plans containing an active β (set at Register, then
+	// read-only); such queries are exempt from overload coalescing, as is
+	// everything their plan reads. coalesced (guarded by mu) counts the
+	// instants this query was skipped under overload.
+	hasActive bool
+	coalesced int64
 }
 
 // Name returns the query's registration name.
@@ -313,6 +328,7 @@ func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
 		actions:    query.NewActionSet(),
 	}
 	q.indexPlanNodes()
+	e.computeHasActive(q)
 	e.queries[name] = q
 	e.order = append(e.order, name)
 	e.recordWindows(plan)
@@ -500,6 +516,12 @@ func (e *Executor) Tick() (service.Instant, error) {
 	dur := e.dur
 	onCheckpoint := e.onCheckpoint
 	workers := e.queryParallelism
+	budget := e.tickBudget
+	skipPassive := e.coalescePassive && e.overranLast
+	rels := make([]*stream.XDRelation, 0, len(e.rels))
+	for _, x := range e.rels {
+		rels = append(rels, x)
+	}
 	e.mu.Unlock()
 	// The head-sampling decision for the whole tick: a sampled tick gets a
 	// root span; everything below (query evals, operators, β tuples, wire
@@ -515,6 +537,13 @@ func (e *Executor) Tick() (service.Instant, error) {
 			return at, fmt.Errorf("cq: wal begin at instant %d: %w", at, err)
 		}
 	}
+	// Ingest buffers drain inside the WAL window (after BeginTick), so
+	// drained events are durably attributed to this tick.
+	if err := e.drainIngest(rels, at); err != nil {
+		tick.SetAttr("error", err.Error())
+		e.logTickError(tick, at, "", err)
+		return at, fmt.Errorf("cq: ingest drain at instant %d: %w", at, err)
+	}
 	for _, src := range sources {
 		if err := src(at); err != nil {
 			tick.SetAttr("error", err.Error())
@@ -522,7 +551,7 @@ func (e *Executor) Tick() (service.Instant, error) {
 			return at, fmt.Errorf("cq: source at instant %d: %w", at, err)
 		}
 	}
-	if err := e.evalTickQueries(order, qs, at, tick, nil, workers); err != nil {
+	if err := e.evalTickQueries(order, qs, at, tick, nil, workers, skipPassive); err != nil {
 		return at, err
 	}
 	e.mu.Lock()
@@ -546,11 +575,22 @@ func (e *Executor) Tick() (service.Instant, error) {
 			}
 		}
 	}
+	elapsed := time.Since(start)
 	e.mu.Lock()
 	e.recordLag(at)
+	overran := budget > 0 && elapsed > budget
+	e.overranLast = overran
+	if overran {
+		e.tickOverruns++
+	}
 	e.mu.Unlock()
+	if overran {
+		obsTickOverruns.Inc()
+		tick.SetAttr("overrun", "true")
+	}
+	obsLastTickElapsed.Set(int64(elapsed))
 	obsTicks.Inc()
-	obsTickLatency.Observe(time.Since(start))
+	obsTickLatency.Observe(elapsed)
 	return at, nil
 }
 
@@ -562,14 +602,34 @@ func (e *Executor) Tick() (service.Instant, error) {
 // queries assigns each its stage. Within a stage, queries are independent
 // and evaluate concurrently on a bounded pool when workers > 1. Errors are
 // deterministic: the failing query earliest in registration order wins.
-func (e *Executor) evalTickQueries(order []string, qs []*Query, at service.Instant, tick *trace.Span, replay ReplayLedger, workers int) error {
+//
+// skipPassive is the overload-coalescing signal: when set (only ever on a
+// live tick following a budget overrun — replay never coalesces), queries
+// that shedableQueries proves safe are skipped for this instant. A skipped
+// query's cross-instant state is untouched, so its next evaluation emits
+// the accumulated delta.
+func (e *Executor) evalTickQueries(order []string, qs []*Query, at service.Instant, tick *trace.Span, replay ReplayLedger, workers int, skipPassive bool) error {
 	fail := func(i int, err error) error {
 		tick.SetAttr("error", err.Error())
 		e.logTickError(tick, at, order[i], err)
 		return fmt.Errorf("cq: query %q at instant %d: %w", order[i], at, err)
 	}
+	var skip []bool
+	if skipPassive {
+		skip = shedableQueries(order, qs)
+	}
+	skipped := func(i int) bool {
+		if skip != nil && skip[i] {
+			qs[i].noteCoalesced()
+			return true
+		}
+		return false
+	}
 	if workers < 2 || len(qs) < 2 {
 		for i, q := range qs {
+			if skipped(i) {
+				continue
+			}
 			if err := e.evalQuery(q, at, tick, replay); err != nil {
 				return fail(i, err)
 			}
@@ -583,6 +643,9 @@ func (e *Executor) evalTickQueries(order []string, qs []*Query, at service.Insta
 		}
 		if w < 2 {
 			for _, i := range stage {
+				if skipped(i) {
+					continue
+				}
 				if err := e.evalQuery(qs[i], at, tick, replay); err != nil {
 					return fail(i, err)
 				}
@@ -612,6 +675,9 @@ func (e *Executor) evalTickQueries(order []string, qs []*Query, at service.Insta
 			}()
 		}
 		for _, i := range stage {
+			if skipped(i) {
+				continue
+			}
 			next <- i
 		}
 		close(next)

@@ -1,0 +1,137 @@
+// Tick-level overload protection: bounded ingest drains, a tick deadline
+// with overrun detection, and optional coalescing of passive-only queries
+// when the previous tick overran its budget.
+//
+// The coalescing invariant is the algebra's: a query whose plan contains an
+// active β — or whose output feeds one, directly or through any chain of
+// derived views — is NEVER skipped, so the Definition 8 action set under
+// overload is exactly the unloaded action set. Only pure-passive leaves of
+// the dependency graph may be coalesced, and their skipped instants fold
+// into the delta emitted at the next evaluated instant.
+package cq
+
+import (
+	"time"
+
+	"serena/internal/obs"
+	"serena/internal/service"
+	"serena/internal/stream"
+)
+
+var (
+	obsTickOverruns    = obs.Default.Counter("cq.tick.overruns")
+	obsCoalescedEvals  = obs.Default.Counter("cq.queries.coalesced")
+	obsIngestDrained   = obs.Default.Counter("cq.ingest.drained")
+	obsLastTickBudget  = obs.Default.Gauge("cq.tick.budget_ns")
+	obsLastTickElapsed = obs.Default.Gauge("cq.tick.last_ns")
+)
+
+// SetTickBudget installs a soft deadline for one tick: a tick taking longer
+// than d is recorded as an overrun (cq.tick.overruns in .metrics) and, when
+// coalescing is enabled, the NEXT tick skips shedable passive-only queries
+// to catch up. d <= 0 disables the budget (the default). The budget never
+// aborts a running tick — cutting an active β mid-flight could lose an
+// action result — it only informs the next instant's scheduling.
+func (e *Executor) SetTickBudget(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tickBudget = d
+	obsLastTickBudget.Set(int64(d))
+}
+
+// SetOverloadCoalescing enables (or disables) skipping passive-only queries
+// for one instant after an overrun tick. Default off: overruns are then
+// only counted.
+func (e *Executor) SetOverloadCoalescing(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.coalescePassive = on
+}
+
+// TickOverruns returns how many ticks exceeded the budget so far.
+func (e *Executor) TickOverruns() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tickOverruns
+}
+
+// Coalesced returns how many instants this query was skipped under
+// overload coalescing.
+func (q *Query) Coalesced() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.coalesced
+}
+
+// HasActive reports whether the query's plan contains an active β — such a
+// query (and everything upstream of it) is exempt from every shedding
+// mechanism.
+func (q *Query) HasActive() bool { return q.hasActive }
+
+func (q *Query) noteCoalesced() {
+	q.mu.Lock()
+	q.coalesced++
+	q.mu.Unlock()
+	obsCoalescedEvals.Inc()
+}
+
+// computeHasActive resolves each β node's prototype against the registry
+// and marks the query when any is active. An unknown prototype counts as
+// active: better to never shed a query we cannot prove passive.
+func (e *Executor) computeHasActive(q *Query) {
+	for _, inv := range q.invNodes {
+		p, err := e.reg.Prototype(inv.Proto)
+		if err != nil || p.Active {
+			q.hasActive = true
+			return
+		}
+	}
+	q.hasActive = false
+}
+
+// shedableQueries returns, for one tick's query snapshot, which queries may
+// be coalesced: passive-only queries whose output feeds no query with an
+// active β, directly or transitively. Dependencies always point at earlier
+// registrations, so one reverse pass propagates protection from every
+// active query down to everything it reads.
+func shedableQueries(order []string, qs []*Query) []bool {
+	idxOf := make(map[string]int, len(order))
+	for i, name := range order {
+		idxOf[name] = i
+	}
+	protected := make([]bool, len(qs))
+	for i, q := range qs {
+		protected[i] = q.hasActive
+	}
+	for i := len(qs) - 1; i >= 0; i-- {
+		if !protected[i] {
+			continue
+		}
+		for _, dep := range planBaseNames(qs[i].plan) {
+			if j, ok := idxOf[dep]; ok && j < i {
+				protected[j] = true
+			}
+		}
+	}
+	shedable := make([]bool, len(qs))
+	for i := range qs {
+		shedable[i] = !protected[i]
+	}
+	return shedable
+}
+
+// drainIngest moves every relation's buffered producer tuples into the
+// relation at the tick instant (after WAL BeginTick, before sources), so
+// drained events are logged inside this tick's WAL window.
+func (e *Executor) drainIngest(rels []*stream.XDRelation, at service.Instant) error {
+	for _, r := range rels {
+		n, err := r.DrainIngest(at)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			obsIngestDrained.Add(int64(n))
+		}
+	}
+	return nil
+}

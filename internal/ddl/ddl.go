@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"serena/internal/lexer"
+	"serena/internal/resilience"
 	"serena/internal/value"
 )
 
@@ -78,6 +79,11 @@ type CreateRelation struct {
 	Attrs  []AttrDef
 	BPs    []BPDef
 	Stream bool
+	// OnOverload, when non-empty, bounds the relation's ingest path with
+	// the named policy (BLOCK | SHED_OLDEST | SHED_NEWEST); Capacity > 0
+	// overrides the default buffer bound.
+	OnOverload string
+	Capacity   int
 }
 
 func (*CreateRelation) stmt() {}
@@ -536,40 +542,79 @@ func (p *parser) relation(isStream bool) (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	if tok.Is(";") {
-		return st, nil
-	}
-	if !tok.IsKeyword("USING") {
-		return nil, p.errf(tok, "expected USING or ';', got %s", tok)
-	}
-	if err := p.expectKeyword("BINDING"); err != nil {
-		return nil, err
-	}
-	if err := p.expectKeyword("PATTERNS"); err != nil {
-		return nil, err
-	}
-	if err := p.expectPunct("("); err != nil {
-		return nil, err
-	}
-	for {
-		bp, err := p.bindingPattern()
+	if tok.IsKeyword("USING") {
+		if err := p.expectKeyword("BINDING"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("PATTERNS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			bp, err := p.bindingPattern()
+			if err != nil {
+				return nil, err
+			}
+			st.BPs = append(st.BPs, bp)
+			tok, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			if tok.Is(")") {
+				break
+			}
+			if !tok.Is(",") {
+				return nil, p.errf(tok, "expected ',' or ')', got %s", tok)
+			}
+		}
+		tok, err = p.next()
 		if err != nil {
 			return nil, err
 		}
-		st.BPs = append(st.BPs, bp)
-		tok, err := p.next()
+	}
+	// Optional overload clause: ON OVERLOAD <policy> [CAPACITY <n>].
+	if tok.IsKeyword("ON") {
+		if err := p.expectKeyword("OVERLOAD"); err != nil {
+			return nil, err
+		}
+		polTok, err := p.next()
 		if err != nil {
 			return nil, err
 		}
-		if tok.Is(")") {
-			break
+		if polTok.Kind != lexer.Ident {
+			return nil, p.errf(polTok, "expected overload policy (BLOCK, SHED_OLDEST or SHED_NEWEST), got %s", polTok)
 		}
-		if !tok.Is(",") {
-			return nil, p.errf(tok, "expected ',' or ')', got %s", tok)
+		if _, err := resilience.ParseOverloadPolicy(polTok.Text); err != nil {
+			return nil, p.errf(polTok, "%v", err)
+		}
+		st.OnOverload = strings.ToUpper(polTok.Text)
+		peek, err := p.lx.Peek()
+		if err != nil {
+			return nil, err
+		}
+		if peek.IsKeyword("CAPACITY") {
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			numTok, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			n, convErr := strconv.Atoi(numTok.Text)
+			if numTok.Kind != lexer.Number || convErr != nil || n < 1 {
+				return nil, p.errf(numTok, "expected positive integer capacity, got %s", numTok)
+			}
+			st.Capacity = n
+		}
+		tok, err = p.next()
+		if err != nil {
+			return nil, err
 		}
 	}
-	if err := p.expectPunct(";"); err != nil {
-		return nil, err
+	if !tok.Is(";") {
+		return nil, p.errf(tok, "expected USING, ON OVERLOAD or ';', got %s", tok)
 	}
 	return st, nil
 }

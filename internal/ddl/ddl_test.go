@@ -326,3 +326,39 @@ func TestRegisterQueryOnError(t *testing.T) {
 		}
 	}
 }
+
+func TestOnOverloadClause(t *testing.T) {
+	// Bare form, no binding patterns.
+	st, err := ddl.ParseOne(`EXTENDED STREAM readings (
+		sensor SERVICE, v REAL ) ON OVERLOAD SHED_OLDEST CAPACITY 64;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := st.(*ddl.CreateRelation)
+	if rel.OnOverload != "SHED_OLDEST" || rel.Capacity != 64 {
+		t.Fatalf("overload = %q capacity = %d", rel.OnOverload, rel.Capacity)
+	}
+	// After a binding-pattern list, capacity omitted.
+	st, err = ddl.ParseOne(`EXTENDED RELATION sensors (
+		sensor SERVICE, temperature REAL VIRTUAL )
+		USING BINDING PATTERNS ( getTemperature[sensor] )
+		ON OVERLOAD block;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel = st.(*ddl.CreateRelation)
+	if rel.OnOverload != "BLOCK" || rel.Capacity != 0 || len(rel.BPs) != 1 {
+		t.Fatalf("rel = %+v", rel)
+	}
+	// Unknown policy and bad capacity are rejected.
+	if _, err := ddl.ParseOne(`STREAM s ( x INTEGER ) ON OVERLOAD whatever;`); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := ddl.ParseOne(`STREAM s ( x INTEGER ) ON OVERLOAD BLOCK CAPACITY 0;`); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	// Statements without the clause still parse.
+	if _, err := ddl.ParseOne(`STREAM s ( x INTEGER );`); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,9 +13,14 @@ import (
 	"sync"
 	"time"
 
+	"serena/internal/obs"
 	"serena/internal/service"
 	"serena/internal/wire"
 )
+
+// obsLeaseExpired counts nodes dropped because their lease lapsed without a
+// renewal — the discovery-layer signal that a Local ERM died silently.
+var obsLeaseExpired = obs.Default.Counter("discovery.lease.expired")
 
 // Kind tags announcements.
 type Kind uint8
@@ -193,11 +198,16 @@ func NewManager(central *service.Registry, bus Bus, opts ...Option) *Manager {
 	return m
 }
 
-// Start subscribes to the bus and processes announcements until Stop.
+// Start subscribes to the bus and processes announcements until Stop. When
+// a lease is configured it also starts a background sweeper that expires
+// silent nodes on its own — a node that dies without a bye message (crash,
+// partition, power loss) is masked out of the central registry within about
+// a lease period even if nobody calls SweepExpired by hand.
 func (m *Manager) Start() {
 	ch, cancel := m.bus.Subscribe()
 	m.mu.Lock()
 	m.cancel = cancel
+	done := m.donec
 	m.mu.Unlock()
 	m.wg.Add(1)
 	go func() {
@@ -214,16 +224,45 @@ func (m *Manager) Start() {
 			}
 		}
 	}()
+	if m.lease <= 0 || done == nil {
+		return
+	}
+	// Sweep at a quarter of the lease so expiry latency stays well under
+	// one lease period even with ticker jitter.
+	interval := m.lease / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-ticker.C:
+				m.SweepExpired(now)
+			}
+		}
+	}()
 }
 
-// Stop unsubscribes and drops all discovered services.
+// Stop unsubscribes, halts the lease sweeper and drops all discovered
+// services.
 func (m *Manager) Stop() {
 	m.mu.Lock()
 	cancel := m.cancel
 	m.cancel = nil
+	done := m.donec
+	m.donec = nil
 	m.mu.Unlock()
 	if cancel != nil {
 		cancel()
+	}
+	if done != nil {
+		close(done)
 	}
 	m.wg.Wait()
 	m.mu.Lock()
@@ -343,6 +382,7 @@ func (m *Manager) SweepExpired(now time.Time) []string {
 	}
 	m.mu.Unlock()
 	for _, name := range expired {
+		obsLeaseExpired.Inc()
 		m.removeNode(name)
 	}
 	return expired

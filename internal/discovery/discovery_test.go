@@ -180,13 +180,46 @@ func TestLeaseExpiry(t *testing.T) {
 	if expired := m.SweepExpired(time.Now()); len(expired) != 0 {
 		t.Fatalf("renewed node expired: %v", expired)
 	}
-	// Past the lease without renewal → swept.
+	// Past the lease without renewal → swept, either by this manual call or
+	// by the background sweeper that Start launched, whichever fires first.
 	expired := m.SweepExpired(time.Now().Add(time.Second))
-	if len(expired) != 1 || expired[0] != "node-A" {
+	if len(expired) == 1 && expired[0] != "node-A" {
 		t.Fatalf("expired = %v", expired)
 	}
-	if len(central.Refs()) != 0 {
-		t.Fatal("expired node's services still registered")
+	waitFor(t, "expired node's services unregistered", func() bool {
+		return len(central.Refs()) == 0 && len(m.Nodes()) == 0
+	})
+}
+
+// TestBackgroundSweepMasksDeadNode: a node that dies WITHOUT a bye message
+// (crash, partition) is masked out of the central registry by the sweeper
+// Start launches — nobody calls SweepExpired by hand here.
+func TestBackgroundSweepMasksDeadNode(t *testing.T) {
+	bus := discovery.NewInProcBus()
+	central := newCentral(t)
+	m := discovery.NewManager(central, bus, discovery.WithLease(60*time.Millisecond))
+	m.Start()
+	defer m.Stop()
+
+	node := newNode(t, bus, "node-A", "sensorA1")
+	if err := node.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	waitFor(t, "discovery", func() bool { return len(central.Refs()) == 1 })
+
+	// The node now goes silent: no renewals, no bye. Within about one lease
+	// the sweeper must unregister its services and forget the node.
+	waitFor(t, "dead node masked", func() bool {
+		return len(central.Refs()) == 0 && len(m.Nodes()) == 0
+	})
+	// The masked service is gone from resolution, so running queries see a
+	// clean unknown-service failure, not a hang against a dead peer.
+	if _, err := central.Invoke("getTemperature", "sensorA1", nil, 0); err == nil {
+		t.Fatal("invocation against a dead node's service succeeded")
+	}
+	if got := central.Implementing("getTemperature"); len(got) != 0 {
+		t.Fatalf("dead node still implementing: %v", got)
 	}
 }
 

@@ -1,0 +1,141 @@
+package pems
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"serena/internal/resilience"
+	"serena/internal/value"
+)
+
+// SetTickBudget declares how long one tick may take before it counts as an
+// overrun. When coalescing is enabled (SetOverloadCoalescing) the instant
+// after an overrun evaluates only queries whose results feed an action —
+// passive-only queries skip one instant and catch up on the next. Zero
+// disables the budget.
+func (p *PEMS) SetTickBudget(d time.Duration) {
+	p.mu.Lock()
+	p.tickBudget = d
+	p.mu.Unlock()
+	p.exec.SetTickBudget(d)
+}
+
+// SetOverloadCoalescing toggles passive-query coalescing after a tick
+// overrun. Queries containing an active invocation — or feeding one
+// downstream — are NEVER skipped: the action set under overload stays
+// exactly what it would have been unloaded (Definition 8 is load-invariant).
+func (p *PEMS) SetOverloadCoalescing(on bool) {
+	p.mu.Lock()
+	p.coalescing = on
+	p.mu.Unlock()
+	p.exec.SetOverloadCoalescing(on)
+}
+
+// TickOverruns reports how many ticks have exceeded the budget.
+func (p *PEMS) TickOverruns() int64 { return p.exec.TickOverruns() }
+
+// SetAdmissionLimit caps concurrent physical service invocations through
+// the central registry: maxInFlight run at once, up to maxQueue more wait
+// at most queueTimeout, everyone else fails fast with
+// resilience.ErrOverloaded (absorbed by each query's degradation policy).
+// maxInFlight <= 0 removes the limit.
+func (p *PEMS) SetAdmissionLimit(maxInFlight, maxQueue int, queueTimeout time.Duration) {
+	p.registry.SetAdmissionLimit(maxInFlight, maxQueue, queueTimeout)
+}
+
+// SetOverloadPolicy installs (or reconfigures) a bounded ingest buffer on a
+// relation — the programmatic form of the DDL's ON OVERLOAD clause.
+// Producers then feed the relation through Offer instead of direct inserts
+// and the buffer absorbs bursts: BLOCK applies backpressure, SHED_OLDEST /
+// SHED_NEWEST drop tuples (counted in .metrics) once capacity is reached.
+func (p *PEMS) SetOverloadPolicy(relation string, policy resilience.OverloadPolicy, capacity int) error {
+	x, ok := p.exec.Relation(relation)
+	if !ok {
+		return fmt.Errorf("pems: unknown relation %q", relation)
+	}
+	x.SetOverloadPolicy(policy, capacity)
+	return nil
+}
+
+// Offer hands a tuple to a relation's bounded ingest buffer; it is drained
+// into the relation at the start of the next tick. The relation must have
+// an overload policy (ON OVERLOAD DDL clause or SetOverloadPolicy).
+func (p *PEMS) Offer(relation string, t value.Tuple) error {
+	x, ok := p.exec.Relation(relation)
+	if !ok {
+		return fmt.Errorf("pems: unknown relation %q", relation)
+	}
+	return x.Offer(t)
+}
+
+// OverloadReport renders the live overload posture of this PEMS: tick
+// budget and overruns, per-query coalescing, admission-limiter occupancy
+// and every bounded ingest buffer's depth and shed counts. The serena
+// shell's .overload command prints it.
+func (p *PEMS) OverloadReport() string {
+	p.mu.Lock()
+	budget, coalescing := p.tickBudget, p.coalescing
+	p.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "tick budget:    %s", durationOrOff(budget))
+	fmt.Fprintf(&b, "   overruns: %d   coalescing: %v\n", p.exec.TickOverruns(), coalescing)
+
+	inFlight, queued, rejected, enabled := p.registry.AdmissionStats()
+	if enabled {
+		fmt.Fprintf(&b, "admission:      in-flight %d, queued %d, rejected %d\n", inFlight, queued, rejected)
+	} else {
+		b.WriteString("admission:      off\n")
+	}
+
+	names := p.exec.RelationNames()
+	sort.Strings(names)
+	any := false
+	for _, name := range names {
+		x, ok := p.exec.Relation(name)
+		if !ok {
+			continue
+		}
+		pol, capacity, on := x.OverloadPolicy()
+		if !on {
+			continue
+		}
+		if !any {
+			b.WriteString("ingest buffers:\n")
+			any = true
+		}
+		offered, shed := x.IngestStats()
+		fmt.Fprintf(&b, "  %-16s %s cap %d   depth %d   offered %d   shed %d\n",
+			name, pol, capacity, x.IngestDepth(), offered, shed)
+	}
+	if !any {
+		b.WriteString("ingest buffers: none\n")
+	}
+
+	qnames := p.exec.QueryNames()
+	sort.Strings(qnames)
+	any = false
+	for _, name := range qnames {
+		q, ok := p.exec.Query(name)
+		if !ok {
+			continue
+		}
+		if n := q.Coalesced(); n > 0 {
+			if !any {
+				b.WriteString("coalesced evaluations:\n")
+				any = true
+			}
+			fmt.Fprintf(&b, "  %-16s %d\n", name, n)
+		}
+	}
+	return b.String()
+}
+
+func durationOrOff(d time.Duration) string {
+	if d <= 0 {
+		return "off"
+	}
+	return d.String()
+}

@@ -50,6 +50,8 @@ type PEMS struct {
 	tickerDone  chan struct{}
 	parallelism int
 	batchSize   int
+	tickBudget  time.Duration
+	coalescing  bool
 
 	// explainOut receives the output of EXPLAIN [ANALYZE] DDL statements
 	// (default: discarded; the serena shell points it at stdout).

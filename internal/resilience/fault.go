@@ -20,9 +20,21 @@ type FaultPlan struct {
 	FailureRate float64
 	// Latency delays every surviving call (injected slowness).
 	Latency time.Duration
+	// LatencyJitter adds a deterministic per-call extra delay in
+	// [0, LatencyJitter), hashed from (Seed, instant, key) — slow-dependency
+	// scenarios stay replayable without real randomness.
+	LatencyJitter time.Duration
 	// DownIntervals lists [from, to] instant ranges (inclusive) during
 	// which every call fails — a withdrawn or crashed service.
 	DownIntervals [][2]int64
+	// StallIntervals lists [from, to] instant ranges (inclusive) during
+	// which every call hangs for StallFor (default 1 minute) instead of
+	// answering — a half-dead dependency that accepts work and never
+	// replies. Context-aware callers escape via their deadline.
+	StallIntervals [][2]int64
+	// StallFor bounds a stalled call's hang (so non-context tests cannot
+	// wedge forever); zero means one minute.
+	StallFor time.Duration
 	// FlapPeriod > 0 makes the service alternate availability: down for
 	// every odd period of that many instants (instants [p,2p), [3p,4p)…).
 	FlapPeriod int64
@@ -49,4 +61,38 @@ func (p *FaultPlan) ShouldFail(at int64, key string) bool {
 		return true
 	}
 	return false
+}
+
+// Delay returns the injected latency for the call identified by (at, key):
+// the fixed Latency plus a deterministic jitter in [0, LatencyJitter),
+// hashed from (Seed, instant, key). Replaying the same instants yields the
+// same delays.
+func (p *FaultPlan) Delay(at int64, key string) time.Duration {
+	if p == nil {
+		return 0
+	}
+	d := p.Latency
+	if p.LatencyJitter > 0 {
+		u := Uniform(fmt.Sprintf("jitter|%d|%s", at, key), p.Seed)
+		d += time.Duration(u * float64(p.LatencyJitter))
+	}
+	return d
+}
+
+// StallDuration returns how long the call identified by instant at should
+// hang (0 when the plan does not stall it). Stalled calls hang then fail
+// with ErrInjected — the answer never arrives.
+func (p *FaultPlan) StallDuration(at int64) time.Duration {
+	if p == nil {
+		return 0
+	}
+	for _, iv := range p.StallIntervals {
+		if at >= iv[0] && at <= iv[1] {
+			if p.StallFor > 0 {
+				return p.StallFor
+			}
+			return time.Minute
+		}
+	}
+	return 0
 }

@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOverloadPolicyRoundTrip(t *testing.T) {
+	for _, p := range []OverloadPolicy{Block, ShedOldest, ShedNewest} {
+		got, err := ParseOverloadPolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParseOverloadPolicy(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("round trip %v -> %q -> %v", p, p.String(), got)
+		}
+	}
+	if p, err := ParseOverloadPolicy("shed_oldest"); err != nil || p != ShedOldest {
+		t.Fatalf("case-insensitive parse: %v, %v", p, err)
+	}
+	if _, err := ParseOverloadPolicy("bogus"); err == nil {
+		t.Fatal("want error for unknown policy")
+	}
+}
+
+func TestLimiterFastPathAndRejection(t *testing.T) {
+	l := NewLimiter(2, 0, 0)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	// No queue, no wait: third caller is rejected immediately.
+	start := time.Now()
+	err := l.Acquire(ctx)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatalf("rejection was not fast: %v", time.Since(start))
+	}
+	inFlight, _, rejected := l.Stats()
+	if inFlight != 2 || rejected != 1 {
+		t.Fatalf("stats: inFlight=%d rejected=%d", inFlight, rejected)
+	}
+	l.Release()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestLimiterQueueWaitsForSlot(t *testing.T) {
+	l := NewLimiter(1, 1, time.Second)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	got := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		got <- l.Acquire(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter queue
+	l.Release()
+	wg.Wait()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire should succeed after release: %v", err)
+	}
+	l.Release()
+}
+
+func TestLimiterQueueDeadline(t *testing.T) {
+	l := NewLimiter(1, 4, 30*time.Millisecond)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	err := l.Acquire(ctx) // queues, then times out: the slot is never released
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded after queue deadline, got %v", err)
+	}
+	l.Release()
+}
+
+func TestLimiterContextCancel(t *testing.T) {
+	l := NewLimiter(1, 4, time.Minute)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := l.Acquire(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	l.Release()
+}
+
+func TestFaultPlanDelayDeterministic(t *testing.T) {
+	p := &FaultPlan{Seed: 7, Latency: 2 * time.Millisecond, LatencyJitter: 8 * time.Millisecond}
+	d1 := p.Delay(42, "svc|proto|k")
+	d2 := p.Delay(42, "svc|proto|k")
+	if d1 != d2 {
+		t.Fatalf("delay not deterministic: %v vs %v", d1, d2)
+	}
+	if d1 < 2*time.Millisecond || d1 >= 10*time.Millisecond {
+		t.Fatalf("delay out of range: %v", d1)
+	}
+	// Different keys should (for this seed) spread across the jitter range.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 16; i++ {
+		seen[p.Delay(int64(i), "k")] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter produced a constant delay across instants")
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.Delay(1, "x") != 0 {
+		t.Fatal("nil plan must not delay")
+	}
+}
+
+func TestFaultPlanStall(t *testing.T) {
+	p := &FaultPlan{StallIntervals: [][2]int64{{5, 9}}, StallFor: 50 * time.Millisecond}
+	if d := p.StallDuration(4); d != 0 {
+		t.Fatalf("instant 4 should not stall, got %v", d)
+	}
+	if d := p.StallDuration(7); d != 50*time.Millisecond {
+		t.Fatalf("instant 7 stall: %v", d)
+	}
+	dflt := &FaultPlan{StallIntervals: [][2]int64{{0, 0}}}
+	if d := dflt.StallDuration(0); d != time.Minute {
+		t.Fatalf("default stall duration: %v", d)
+	}
+}

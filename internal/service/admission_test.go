@@ -1,0 +1,172 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"serena/internal/resilience"
+	"serena/internal/service"
+	"serena/internal/value"
+)
+
+// slowService answers probe after d (honoring ctx through Faulty's delay
+// injection would also work; here we block directly).
+func slowService(ref string, d time.Duration) *service.Func {
+	return service.NewFunc(ref, map[string]service.InvokeFunc{
+		"probe": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+			time.Sleep(d)
+			return []value.Tuple{{value.NewReal(21)}}, nil
+		},
+	})
+}
+
+// TestAdmissionRejectsFastUnderLoad: with one slot, no queue, a second
+// concurrent invocation is rejected with ErrOverloaded in microseconds —
+// and never reaches the service.
+func TestAdmissionRejectsFastUnderLoad(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(probeProto()); err != nil {
+		t.Fatal(err)
+	}
+	// A deterministically slow dependency via the latency-fault plan.
+	inner := slowService("s", 0)
+	faulty := service.NewFaulty(inner, &resilience.FaultPlan{Latency: 200 * time.Millisecond})
+	if err := reg.Register(faulty); err != nil {
+		t.Fatal(err)
+	}
+	reg.SetAdmissionLimit(1, 0, 0)
+
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		if _, err := reg.Invoke("probe", "s", nil, 0); err != nil {
+			t.Errorf("slot-holding invocation failed: %v", err)
+		}
+	}()
+	<-started
+	time.Sleep(30 * time.Millisecond) // let the holder physically start
+	begin := time.Now()
+	_, err := reg.Invoke("probe", "s", nil, 0)
+	if !errors.Is(err, resilience.ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if time.Since(begin) > 100*time.Millisecond {
+		t.Fatalf("rejection not fast: %v", time.Since(begin))
+	}
+	if got := faulty.Calls(); got != 1 {
+		t.Fatalf("rejected call reached the service: %d physical calls", got)
+	}
+	wg.Wait()
+	// Slot released: the next call is admitted.
+	if _, err := reg.Invoke("probe", "s", nil, 0); err != nil {
+		t.Fatalf("post-release invocation: %v", err)
+	}
+	_, _, rejected, enabled := reg.AdmissionStats()
+	if !enabled || rejected != 1 {
+		t.Fatalf("admission stats: enabled=%v rejected=%d", enabled, rejected)
+	}
+}
+
+// TestAdmissionQueueAdmitsWhenSlotFrees: a waiter inside the queue bound
+// gets the slot instead of an error.
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(probeProto()); err != nil {
+		t.Fatal(err)
+	}
+	faulty := service.NewFaulty(slowService("s", 0), &resilience.FaultPlan{Latency: 50 * time.Millisecond})
+	if err := reg.Register(faulty); err != nil {
+		t.Fatal(err)
+	}
+	reg.SetAdmissionLimit(1, 4, time.Second)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = reg.Invoke("probe", "s", nil, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("queued invocation %d failed: %v", i, err)
+		}
+	}
+	if got := faulty.Calls(); got != 3 {
+		t.Fatalf("physical calls = %d, want 3", got)
+	}
+}
+
+// TestAdmissionRejectionBypassesBreaker: overload rejections must not trip
+// the breaker — the callee is healthy, the caller is just busy.
+func TestAdmissionRejectionBypassesBreaker(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(probeProto()); err != nil {
+		t.Fatal(err)
+	}
+	faulty := service.NewFaulty(slowService("s", 0), &resilience.FaultPlan{Latency: 150 * time.Millisecond})
+	if err := reg.Register(faulty); err != nil {
+		t.Fatal(err)
+	}
+	reg.SetAdmissionLimit(1, 0, 0)
+	set := reg.EnableBreakers(resilience.BreakerPolicy{FailureThreshold: 2, Cooldown: time.Minute})
+
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(started)
+		_, _ = reg.Invoke("probe", "s", nil, 0)
+		close(done)
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		_, err := reg.Invoke("probe", "s", nil, 0)
+		if !errors.Is(err, resilience.ErrOverloaded) {
+			t.Fatalf("call %d: want ErrOverloaded, got %v", i, err)
+		}
+	}
+	<-done
+	// Five rejections, threshold two — yet the breaker stayed closed.
+	if _, err := reg.Invoke("probe", "s", nil, 0); err != nil {
+		t.Fatalf("breaker tripped by overload rejections: %v", err)
+	}
+	if st := set.State("s"); st != resilience.Closed {
+		t.Fatalf("breaker state = %v, want Closed", st)
+	}
+}
+
+// TestAdmissionHonorsContext: a canceled caller gets its context error,
+// not an overload error.
+func TestAdmissionHonorsContext(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(probeProto()); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(service.NewFaulty(slowService("s", 0),
+		&resilience.FaultPlan{Latency: 200 * time.Millisecond})); err != nil {
+		t.Fatal(err)
+	}
+	reg.SetAdmissionLimit(1, 4, time.Minute)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, _ = reg.Invoke("probe", "s", nil, 0)
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := reg.InvokeCtx(ctx, "probe", "s", nil, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -60,6 +61,7 @@ func (r *Registry) InvokeBatchCtx(ctx context.Context, proto, ref string, inputs
 	e, okS := r.services[ref]
 	breakers := r.breakers
 	timeout := r.invokeTimeout
+	admission := r.admission
 	r.mu.RUnlock()
 	failAll := func(err error) []InvokeResult {
 		for i := range out {
@@ -134,6 +136,18 @@ func (r *Registry) InvokeBatchCtx(ctx context.Context, proto, ref string, inputs
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+	}
+	// One admission slot covers the whole frame — a batch is one physical
+	// dispatch — and a rejection fails the frame fast without touching the
+	// breaker.
+	if admission != nil {
+		if err := admission.Acquire(ctx); err != nil {
+			if errors.Is(err, resilience.ErrOverloaded) {
+				obsInvokeOverload.Inc()
+			}
+			return failAll(fmt.Errorf("service: invoke %s on %s: %w", proto, ref, err))
+		}
+		defer admission.Release()
 	}
 	im := e.metricsFor(proto, ref)
 	results := bs.InvokeBatchCtx(ctx, proto, conf, at)

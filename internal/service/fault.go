@@ -1,20 +1,20 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
-	"time"
 
 	"serena/internal/resilience"
 	"serena/internal/value"
 )
 
 // Faulty wraps a Service with a deterministic fault-injection plan:
-// failures, extra latency and availability windows are decided by the
-// discrete instant (and call identity), never by wall-clock randomness, so
-// chaos tests replay identically. The wrapper counts physical calls, which
-// lets tests prove that a short-circuited invocation (open breaker) never
-// reached the service.
+// failures, extra latency, stalls and availability windows are decided by
+// the discrete instant (and call identity), never by wall-clock randomness,
+// so chaos tests replay identically. The wrapper counts physical calls,
+// which lets tests prove that a short-circuited invocation (open breaker,
+// admission rejection) never reached the service.
 type Faulty struct {
 	inner Service
 	plan  *resilience.FaultPlan
@@ -40,12 +40,34 @@ func (f *Faulty) Calls() int64 { return f.calls.Load() }
 
 // Invoke implements Service, applying the plan before delegating.
 func (f *Faulty) Invoke(proto string, input value.Tuple, at Instant) ([]value.Tuple, error) {
+	return f.InvokeCtx(context.Background(), proto, input, at)
+}
+
+// InvokeCtx implements CtxService: injected stalls and delays honor the
+// caller's deadline, so a registry invocation timeout cuts a hung or slow
+// fault short exactly as it would a real slow dependency.
+func (f *Faulty) InvokeCtx(ctx context.Context, proto string, input value.Tuple, at Instant) ([]value.Tuple, error) {
 	f.calls.Add(1)
-	if f.plan.ShouldFail(int64(at), f.inner.Ref()+"|"+proto+"|"+input.Key()) {
+	key := f.inner.Ref() + "|" + proto + "|" + input.Key()
+	if stall := f.plan.StallDuration(int64(at)); stall > 0 {
+		// A stalled call hangs, then fails: the answer never comes.
+		if err := resilience.SleepCtx(ctx, stall); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: stalled %s on %s at %d", resilience.ErrInjected, proto, f.inner.Ref(), at)
+	}
+	if f.plan.ShouldFail(int64(at), key) {
 		return nil, fmt.Errorf("%w: %s on %s at %d", resilience.ErrInjected, proto, f.inner.Ref(), at)
 	}
-	if f.plan != nil && f.plan.Latency > 0 {
-		time.Sleep(f.plan.Latency)
+	if d := f.plan.Delay(int64(at), key); d > 0 {
+		if err := resilience.SleepCtx(ctx, d); err != nil {
+			return nil, err
+		}
+	}
+	if cs, ok := f.inner.(CtxService); ok {
+		return cs.InvokeCtx(ctx, proto, input, at)
 	}
 	return f.inner.Invoke(proto, input, at)
 }
+
+var _ CtxService = (*Faulty)(nil)

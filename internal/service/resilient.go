@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,7 @@ var (
 	obsInvokeRetries   = obs.Default.Counter("service.invoke.retries")
 	obsInvokeFailures  = obs.Default.Counter("service.invoke.failures")
 	obsInvokeShortCirc = obs.Default.Counter("service.invoke.short_circuits")
+	obsInvokeOverload  = obs.Default.Counter("service.invoke.overload_rejections")
 )
 
 // invokeMetrics is the cached per-(prototype, service) metric bundle,
@@ -99,6 +101,37 @@ func (r *Registry) SetInvokeTimeout(d time.Duration) {
 	r.mu.Unlock()
 }
 
+// SetAdmissionLimit caps concurrent physical invocations through this
+// registry: at most maxInFlight run at once, up to maxQueue more wait at
+// most queueTimeout for a slot, and everyone beyond that fails fast with
+// resilience.ErrOverloaded (which the query layer's degradation policies
+// absorb like any β failure). Admission composes with breakers — a slot is
+// taken only for the physical attempt, after the breaker gate — and
+// rejections do NOT feed breaker failure counts: an overloaded caller says
+// nothing about the callee's health. maxInFlight <= 0 removes the limit.
+func (r *Registry) SetAdmissionLimit(maxInFlight, maxQueue int, queueTimeout time.Duration) {
+	var l *resilience.Limiter
+	if maxInFlight > 0 {
+		l = resilience.NewLimiter(maxInFlight, maxQueue, queueTimeout)
+	}
+	r.mu.Lock()
+	r.admission = l
+	r.mu.Unlock()
+}
+
+// AdmissionStats reports the limiter's live occupancy (zeros when no limit
+// is set).
+func (r *Registry) AdmissionStats() (inFlight, queued int, rejected int64, enabled bool) {
+	r.mu.RLock()
+	l := r.admission
+	r.mu.RUnlock()
+	if l == nil {
+		return 0, 0, 0, false
+	}
+	inFlight, queued, rejected = l.Stats()
+	return inFlight, queued, rejected, true
+}
+
 // SetRetryPolicy installs a retry policy for failed invocations. Retries
 // apply ONLY to passive prototypes: re-invoking an active prototype would
 // duplicate the query's action set (Definition 8) — the same soundness rule
@@ -147,6 +180,7 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 	retry := r.retry
 	breakers := r.breakers
 	timeout := r.invokeTimeout
+	admission := r.admission
 	r.mu.RUnlock()
 	if !okP {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownPrototype, proto)
@@ -207,11 +241,31 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 			return nil, fmt.Errorf("service: invoke %s on %s: %w", proto, ref, resilience.ErrOpen)
 		}
 		tried++
+		// Admission is per physical attempt: the slot is never held across
+		// a retry backoff, and a rejection is a fast local failure that
+		// does NOT feed the breaker — overload here says nothing about the
+		// callee's health.
+		if admission != nil {
+			if err := admission.Acquire(ctx); err != nil {
+				if errors.Is(err, resilience.ErrOverloaded) {
+					obsInvokeOverload.Inc()
+					span.SetAttr("admission", "rejected")
+				}
+				lastErr = err
+				if ctx.Err() != nil {
+					break
+				}
+				continue
+			}
+		}
 		var start time.Time
 		if sampleLatency {
 			start = time.Now()
 		}
 		rows, lastErr = callService(ctx, s, proto, in, at, timeout)
+		if admission != nil {
+			admission.Release()
+		}
 		if sampleLatency {
 			elapsed := time.Since(start)
 			obsInvokeLatency.Observe(elapsed)

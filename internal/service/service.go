@@ -133,6 +133,9 @@ type Registry struct {
 	invokeTimeout time.Duration
 	retry         resilience.RetryPolicy
 	breakers      *resilience.BreakerSet
+	// admission, when set, caps concurrent physical invocations through
+	// this registry (see SetAdmissionLimit in resilient.go).
+	admission *resilience.Limiter
 }
 
 // NewRegistry returns an empty registry.

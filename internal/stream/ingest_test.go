@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"serena/internal/resilience"
+	"serena/internal/schema"
+	"serena/internal/value"
+)
+
+func ingestSchema(t *testing.T) *schema.Extended {
+	t.Helper()
+	ext, err := schema.NewExtended("s", []schema.ExtAttr{
+		{Attribute: schema.Attribute{Name: "v", Type: value.Int}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ext
+}
+
+func tup(t *testing.T, sch *schema.Extended, v int64) value.Tuple {
+	t.Helper()
+	return value.Tuple{value.NewInt(v)}
+}
+
+func TestOfferWithoutPolicyFails(t *testing.T) {
+	x := NewInfinite(ingestSchema(t))
+	if err := x.Offer(tup(t, x.Schema(), 1)); err == nil {
+		t.Fatal("offer without policy must fail")
+	}
+}
+
+func TestShedOldestKeepsFreshest(t *testing.T) {
+	x := NewInfinite(ingestSchema(t))
+	x.SetOverloadPolicy(resilience.ShedOldest, 3)
+	for v := int64(1); v <= 5; v++ {
+		if err := x.Offer(tup(t, x.Schema(), v)); err != nil {
+			t.Fatalf("offer %d: %v", v, err)
+		}
+	}
+	if d := x.IngestDepth(); d != 3 {
+		t.Fatalf("depth = %d, want 3", d)
+	}
+	offered, shed := x.IngestStats()
+	if offered != 5 || shed != 2 {
+		t.Fatalf("offered=%d shed=%d, want 5, 2", offered, shed)
+	}
+	n, err := x.DrainIngest(10)
+	if err != nil || n != 3 {
+		t.Fatalf("drain: n=%d err=%v", n, err)
+	}
+	// The freshest three tuples (3,4,5) survive; the oldest two were shed.
+	rows := x.InsertedIn(9, 10)
+	if len(rows) != 3 {
+		t.Fatalf("inserted rows: %d", len(rows))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if got := rows[i][0].Int(); got != want {
+			t.Fatalf("row %d = %v, want %d", i, rows[i][0], want)
+		}
+	}
+}
+
+func TestShedNewestKeepsOldest(t *testing.T) {
+	x := NewInfinite(ingestSchema(t))
+	x.SetOverloadPolicy(resilience.ShedNewest, 3)
+	for v := int64(1); v <= 5; v++ {
+		if err := x.Offer(tup(t, x.Schema(), v)); err != nil {
+			t.Fatalf("offer %d: %v", v, err)
+		}
+	}
+	if _, shed := func() (int64, int64) { return x.IngestStats() }(); shed != 2 {
+		t.Fatalf("shed = %d, want 2", shed)
+	}
+	if _, err := x.DrainIngest(10); err != nil {
+		t.Fatal(err)
+	}
+	rows := x.InsertedIn(9, 10)
+	for i, want := range []int64{1, 2, 3} {
+		if got := rows[i][0].Int(); got != want {
+			t.Fatalf("row %d = %v, want %d", i, rows[i][0], want)
+		}
+	}
+}
+
+func TestBlockBackpressure(t *testing.T) {
+	x := NewInfinite(ingestSchema(t))
+	x.SetOverloadPolicy(resilience.Block, 2)
+	if err := x.Offer(tup(t, x.Schema(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Offer(tup(t, x.Schema(), 2)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	blocked := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(blocked)
+		if err := x.Offer(tup(t, x.Schema(), 3)); err != nil { // blocks until drain
+			t.Errorf("blocked offer: %v", err)
+		}
+	}()
+	<-blocked
+	time.Sleep(20 * time.Millisecond)
+	if d := x.IngestDepth(); d != 2 {
+		t.Fatalf("depth before drain = %d, want 2 (producer must be blocked)", d)
+	}
+	if n, err := x.DrainIngest(1); err != nil || n != 2 {
+		t.Fatalf("drain: n=%d err=%v", n, err)
+	}
+	wg.Wait() // producer unblocked by the drain
+	if n, err := x.DrainIngest(2); err != nil || n != 1 {
+		t.Fatalf("second drain: n=%d err=%v", n, err)
+	}
+	if _, shed := x.IngestStats(); shed != 0 {
+		t.Fatalf("BLOCK must never shed, shed=%d", shed)
+	}
+}
+
+func TestCloseIngestUnblocksProducer(t *testing.T) {
+	x := NewInfinite(ingestSchema(t))
+	x.SetOverloadPolicy(resilience.Block, 1)
+	if err := x.Offer(tup(t, x.Schema(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- x.Offer(tup(t, x.Schema(), 2)) }()
+	time.Sleep(10 * time.Millisecond)
+	x.CloseIngest()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("offer after close should fail")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not unblock producer")
+	}
+}
+
+func TestOfferConformsEagerly(t *testing.T) {
+	x := NewInfinite(ingestSchema(t))
+	x.SetOverloadPolicy(resilience.ShedOldest, 4)
+	bad := value.Tuple{value.NewString("not-an-int"), value.NewString("extra")}
+	if err := x.Offer(bad); err == nil {
+		t.Fatal("malformed tuple must fail at offer time")
+	}
+}

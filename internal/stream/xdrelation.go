@@ -47,6 +47,10 @@ type XDRelation struct {
 	// durability layer appends them to its write-ahead log). Called with
 	// the relation lock held; the callback must not re-enter the relation.
 	onEvent func(Event)
+	// ingest, when configured via SetOverloadPolicy, bounds the producer
+	// path with a per-relation staging buffer drained once per tick (see
+	// ingest.go). It has its own lock; x.mu only guards the pointer.
+	ingest *ingestState
 }
 
 type entry struct {

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"serena/internal/obs"
+	"serena/internal/resilience"
+)
+
+var obsWireServerOverload = obs.Default.Counter("wire.server.overload_rejections")
+
+// SetMaxInFlight caps how many requests this server executes concurrently
+// across all connections. Excess requests are rejected immediately — no
+// registry work, no goroutine pile-up — with an error the client maps back
+// onto resilience.ErrOverloaded, so the caller's degradation policy (PR 1)
+// decides what the miss means. n <= 0 removes the limit (the default).
+func (s *Server) SetMaxInFlight(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxInFlight = n
+}
+
+// SetReadTimeout bounds how long a connection may sit idle between
+// requests: a client that connects and goes silent (or dies without FIN)
+// is dropped after d instead of pinning a server goroutine forever.
+// Healthy-but-quiet clients are dropped too — their next request transparently
+// redials (the client retries connection loss, never timeouts). d <= 0
+// disables (the default).
+func (s *Server) SetReadTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readTimeout = d
+}
+
+// SetWriteTimeout bounds each response write, so a client that stops
+// reading cannot wedge the shared response encoder. d <= 0 disables.
+func (s *Server) SetWriteTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeTimeout = d
+}
+
+// ActiveConns returns how many client connections the server currently
+// holds.
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// InFlight returns how many requests the server is executing right now.
+func (s *Server) InFlight() int64 { return s.inFlight.Load() }
+
+// overloadedError carries a remote overload rejection verbatim while
+// unwrapping to resilience.ErrOverloaded, so errors.Is works across the
+// wire boundary.
+type overloadedError struct{ msg string }
+
+func (e *overloadedError) Error() string { return e.msg }
+func (e *overloadedError) Unwrap() error { return resilience.ErrOverloaded }
+
+// remoteError turns a Response.Err string back into a typed error:
+// messages carrying the overload marker (a server fast-rejection, or the
+// remote registry's own admission limiter) become errors.Is-able
+// resilience.ErrOverloaded; everything else stays opaque.
+func remoteError(msg string) error {
+	if strings.Contains(msg, resilience.ErrOverloaded.Error()) {
+		return &overloadedError{msg: msg}
+	}
+	return errors.New(msg)
+}

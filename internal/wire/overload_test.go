@@ -1,0 +1,184 @@
+package wire_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"serena/internal/resilience"
+	"serena/internal/schema"
+	"serena/internal/service"
+	"serena/internal/value"
+	"serena/internal/wire"
+)
+
+func slowProbeProto() *schema.Prototype {
+	return schema.MustPrototype("probe", nil,
+		schema.MustRel(schema.Attribute{Name: "v", Type: value.Real}), false)
+}
+
+// startSlowNode hosts one "probe" service whose invocations block until
+// release is closed — a deterministic way to hold server capacity.
+func startSlowNode(t *testing.T, release chan struct{}) (string, *service.Registry, *wire.Server) {
+	t.Helper()
+	reg := service.NewRegistry()
+	if err := reg.RegisterPrototype(slowProbeProto()); err != nil {
+		t.Fatal(err)
+	}
+	svc := service.NewFunc("s", map[string]service.InvokeFunc{
+		"probe": func(value.Tuple, service.Instant) ([]value.Tuple, error) {
+			<-release
+			return []value.Tuple{{value.NewReal(21)}}, nil
+		},
+	})
+	if err := reg.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer("node-slow", reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return addr, reg, srv
+}
+
+// TestSilentClientDropped: a client that connects and never speaks must not
+// pin a server goroutine forever once a read deadline is set.
+func TestSilentClientDropped(t *testing.T) {
+	addr, _, srv := startNode(t)
+	srv.SetReadTimeout(100 * time.Millisecond)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// The server accepted the connection...
+	deadline := time.Now().Add(time.Second)
+	for srv.ActiveConns() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never registered the connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...and must drop it after ~readTimeout of silence.
+	deadline = time.Now().Add(2 * time.Second)
+	for srv.ActiveConns() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("silent client still pinned after 2s: %d conns", srv.ActiveConns())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReadTimeoutSparesTalkingClients: the deadline is re-armed per request,
+// so a client slower than the deadline overall — but never silent longer
+// than it between requests — keeps its connection.
+func TestReadTimeoutSparesTalkingClients(t *testing.T) {
+	addr, _, srv := startNode(t)
+	srv.SetReadTimeout(150 * time.Millisecond)
+	c, err := wire.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		time.Sleep(60 * time.Millisecond) // idle, but under the deadline
+		if _, err := c.Invoke("getTemperature", "sensor01", nil, service.Instant(i)); err != nil {
+			t.Fatalf("request %d after idle gap: %v", i, err)
+		}
+	}
+}
+
+// TestServerMaxInFlightRejectsOverloaded: the cap rejects excess requests
+// before any registry work, and the client surfaces them as
+// errors.Is(err, resilience.ErrOverloaded) — the same typed failure the
+// local admission limiter produces, so degradation policies compose.
+func TestServerMaxInFlightRejectsOverloaded(t *testing.T) {
+	release := make(chan struct{})
+	addr, _, srv := startSlowNode(t, release)
+	srv.SetMaxInFlight(1)
+
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Invoke("probe", "s", nil, 0); err != nil {
+			t.Errorf("capacity-holding invoke failed: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.InFlight() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never started executing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	begin := time.Now()
+	_, err = c.Invoke("probe", "s", nil, 1)
+	if !errors.Is(err, resilience.ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if time.Since(begin) > 500*time.Millisecond {
+		t.Fatalf("rejection not fast: %v", time.Since(begin))
+	}
+
+	close(release)
+	wg.Wait()
+	// Capacity freed: the connection survived the rejection and the next
+	// request is admitted.
+	if _, err := c.Invoke("probe", "s", nil, 2); err != nil {
+		t.Fatalf("post-release invoke: %v", err)
+	}
+}
+
+// TestRemoteAdmissionRejectionIsTyped: when the REMOTE registry's own
+// admission limiter rejects, the error string crosses the wire and the
+// client still recovers the typed resilience.ErrOverloaded.
+func TestRemoteAdmissionRejectionIsTyped(t *testing.T) {
+	release := make(chan struct{})
+	addr, srvReg, _ := startSlowNode(t, release)
+	// No wire-level cap; the remote registry itself enforces admission.
+	srvReg.SetAdmissionLimit(1, 0, 0)
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = c.Invoke("probe", "s", nil, 0)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		inFlight, _, _, _ := srvReg.AdmissionStats()
+		if inFlight == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot holder never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err = c.Invoke("probe", "s", nil, 1)
+	if !errors.Is(err, resilience.ErrOverloaded) {
+		t.Fatalf("remote admission rejection lost its type: %v", err)
+	}
+	close(release)
+	wg.Wait()
+}

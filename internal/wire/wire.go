@@ -15,7 +15,6 @@ package wire
 import (
 	"context"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -203,6 +202,14 @@ type Server struct {
 	conns    map[net.Conn]bool
 	done     chan struct{}
 	batchPar int
+
+	// Overload limits (see overload.go): maxInFlight caps concurrently
+	// executing requests (0 = unlimited); readTimeout drops connections
+	// idle between requests; writeTimeout bounds each response write.
+	maxInFlight  int
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	inFlight     atomic.Int64
 }
 
 // NewServer wraps a registry of local services under a node name.
@@ -290,20 +297,50 @@ func (s *Server) serveConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	var writeMu sync.Mutex
+	send := func(resp *Response, writeT time.Duration) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		if writeT > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(writeT))
+		}
+		_ = enc.Encode(resp)
+	}
 	for {
+		s.mu.Lock()
+		readT, writeT, maxIF := s.readTimeout, s.writeTimeout, s.maxInFlight
+		s.mu.Unlock()
+		if readT > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(readT))
+		} else {
+			_ = conn.SetReadDeadline(time.Time{})
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		// Admission check before any work: over the cap, the request is
+		// answered with a fast typed rejection — no registry call, no
+		// goroutine, and the client's degradation policy takes it from
+		// there.
+		if maxIF > 0 && s.inFlight.Add(1) > int64(maxIF) {
+			s.inFlight.Add(-1)
+			obsWireServerOverload.Inc()
+			send(&Response{
+				ID:  req.ID,
+				Err: fmt.Sprintf("wire: %s: %v: %d requests in flight", s.node, resilience.ErrOverloaded, maxIF),
+			}, writeT)
+			continue
+		}
 		wg.Add(1)
-		go func(req Request) {
+		go func(req Request, counted bool) {
 			defer wg.Done()
+			if counted {
+				defer s.inFlight.Add(-1)
+			}
 			resp := s.handle(&req)
 			resp.ID = req.ID
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			_ = enc.Encode(resp)
-		}(req)
+			send(resp, writeT)
+		}(req, maxIF > 0)
 	}
 }
 
@@ -687,7 +724,7 @@ func (c *Client) Describe() (string, []ServiceInfo, error) {
 		return "", nil, err
 	}
 	if resp.Err != "" {
-		return "", nil, errors.New(resp.Err)
+		return "", nil, remoteError(resp.Err)
 	}
 	return resp.Node, resp.Services, nil
 }
@@ -707,7 +744,7 @@ func (c *Client) InvokeCtx(ctx context.Context, proto, ref string, input value.T
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, remoteError(resp.Err)
 	}
 	rows := make([]value.Tuple, len(resp.Rows))
 	for i, r := range resp.Rows {
@@ -753,7 +790,7 @@ func (c *Client) InvokeBatchCtx(ctx context.Context, proto, ref string, inputs [
 			c.batchUnsupported.Store(true)
 			return c.invokeBatchFallback(ctx, proto, ref, inputs, at)
 		}
-		ferr := errors.New(resp.Err)
+		ferr := remoteError(resp.Err)
 		for i := range out {
 			out[i].Err = ferr
 		}
@@ -766,7 +803,7 @@ func (c *Client) InvokeBatchCtx(ctx context.Context, proto, ref string, inputs [
 		}
 		res := resp.ItemResults[i]
 		if res.Err != "" {
-			out[i].Err = errors.New(res.Err)
+			out[i].Err = remoteError(res.Err)
 			continue
 		}
 		rows := make([]value.Tuple, len(res.Rows))
