@@ -33,13 +33,19 @@ cover:
 bench:
 	sh scripts/bench.sh
 
-# Regression gate: run the suite into BENCH_check.json, then fail if a
-# gated benchmark (BenchmarkInvoke*/BenchmarkDurableTick) regressed >20%
-# against the previous report. Missing or cross-machine baselines pass
-# with a warning (see cmd/benchfmt -diff).
+# Regression gate: run the suite into BENCH_check.json, then (a) fail if a
+# gated benchmark (BenchmarkInvoke*/BenchmarkDurableTick/
+# BenchmarkDeltaInvocation*) regressed >20% against the previous report —
+# missing or cross-machine baselines pass with a warning (cmd/benchfmt
+# -diff) — and (b) fail unless the incremental evaluator beats the naive
+# one at every window size of the sweep, a same-run comparison with no
+# cannot-compare escape (cmd/benchfmt -faster).
 bench-check:
 	OUT=BENCH_check.json sh scripts/bench.sh
 	$(GO) run ./cmd/benchfmt -diff BENCH_check.json
+	$(GO) run ./cmd/benchfmt \
+		-faster 'BenchmarkDeltaInvocation/delta<BenchmarkDeltaInvocation/naive' \
+		BENCH_check.json
 
 # Overload soak: flood a bounded stream at ~2× drain capacity under -race
 # and assert bounded memory, honored sheds and an intact action set; plus

@@ -9,9 +9,10 @@ import (
 )
 
 // DefaultDiffKeys selects the benchmarks the regression gate watches: the
-// invocation pipeline and the durable tick path — the two surfaces the
-// batching work optimizes and must not regress.
-const DefaultDiffKeys = `^BenchmarkInvoke|^BenchmarkDurableTick`
+// invocation pipeline, the durable tick path, and the incremental-vs-naive
+// evaluation sweep — the surfaces the batching and delta-evaluation work
+// optimize and must not regress.
+const DefaultDiffKeys = `^BenchmarkInvoke|^BenchmarkDurableTick|^BenchmarkDeltaInvocation`
 
 // Regression is one gated benchmark whose ns/op grew past the threshold.
 type Regression struct {

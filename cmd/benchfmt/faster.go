@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// AssertFaster enforces a within-report pair gate, spec "fast<slow": every
+// benchmark named <fast>/<suffix> must have a <slow>/<suffix> counterpart
+// in the same package and strictly lower ns/op. Unlike the -diff gate —
+// which compares against a historical baseline and passes when it cannot —
+// this one compares two arms of the same run, so a missing counterpart or
+// an empty match is itself a failure: the sweep broke, not the machine.
+func AssertFaster(rep *Report, fast, slow string) []string {
+	slowNs := make(map[string]float64, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		if rest, ok := strings.CutPrefix(b.Name, slow+"/"); ok {
+			slowNs[b.Package+"|"+rest] = b.NsPerOp
+		}
+	}
+	var errs []string
+	matched := 0
+	for _, b := range rep.Benchmarks {
+		rest, ok := strings.CutPrefix(b.Name, fast+"/")
+		if !ok {
+			continue
+		}
+		matched++
+		base, ok := slowNs[b.Package+"|"+rest]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("%s has no %s/%s counterpart", b.Name, slow, rest))
+			continue
+		}
+		if b.NsPerOp >= base {
+			errs = append(errs, fmt.Sprintf("%-44s %12.0f ns/op  not faster than  %s/%s  %12.0f ns/op",
+				b.Name, b.NsPerOp, slow, rest, base))
+		}
+	}
+	if matched == 0 {
+		errs = append(errs, fmt.Sprintf("no benchmarks named %s/* in the report; the sweep did not run", fast))
+	}
+	sort.Strings(errs)
+	return errs
+}
+
+// runFaster implements `benchfmt -faster "fast<slow" <report>`.
+func runFaster(reportPath, spec string) int {
+	fast, slow, ok := strings.Cut(spec, "<")
+	if !ok || fast == "" || slow == "" {
+		fmt.Fprintf(os.Stderr, "benchfmt: bad -faster spec %q, want \"fastPrefix<slowPrefix\"\n", spec)
+		return 1
+	}
+	rep, err := readReport(reportPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if errs := AssertFaster(rep, fast, slow); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchfmt: %s is not faster than %s everywhere:\n", fast, slow)
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "  %s\n", e)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchfmt: %s beats %s at every point of the sweep\n", fast, slow)
+	return 0
+}

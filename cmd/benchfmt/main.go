@@ -22,6 +22,15 @@
 // A missing baseline or a baseline measured on different hardware warns
 // and passes — the gate never fails on numbers it cannot compare.
 //
+// With -faster, benchfmt gates two arms of the SAME report against each
+// other instead of against history:
+//
+//	benchfmt -faster 'BenchmarkDeltaInvocation/delta<BenchmarkDeltaInvocation/naive' BENCH_check.json
+//
+// It exits non-zero unless every fast/<suffix> benchmark exists, has a
+// slow/<suffix> counterpart, and is strictly faster — same-machine,
+// same-run numbers, so this gate has no cannot-compare escape.
+//
 // benchfmt exits non-zero when the input contains no benchmark results or a
 // failed benchmark, so pipelines cannot silently archive empty reports.
 package main
@@ -170,8 +179,16 @@ func main() {
 	against := flag.String("against", "", "baseline report for -diff (default: the report's recorded parent)")
 	threshold := flag.Float64("threshold", 20, "ns/op growth percentage that fails the -diff gate")
 	keys := flag.String("keys", DefaultDiffKeys, "regexp selecting the benchmarks the -diff gate watches")
+	faster := flag.String("faster", "", `pair-gate mode: "fast<slow" name-prefix pair that must hold at every suffix of the report given as the positional argument`)
 	flag.Parse()
 
+	if *faster != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchfmt: -faster needs exactly one report path argument")
+			os.Exit(1)
+		}
+		os.Exit(runFaster(flag.Arg(0), *faster))
+	}
 	if *diff != "" {
 		os.Exit(runDiff(*diff, *against, *keys, *threshold))
 	}

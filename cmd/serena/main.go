@@ -612,6 +612,13 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
 			fmt.Fprintf(out, "%s: %s\n", name, q.Plan())
 			fmt.Fprintf(out, "  invocations: %d passive, %d memoized, %d active; %d failure(s)\n",
 				st.Passive, st.Memoized, st.Active, len(q.InvokeErrors()))
+			dt, nt := q.EvalCounts()
+			fmt.Fprintf(out, "  evaluator: %s (%d delta / %d naive tick(s))\n", q.EvaluationMode(), dt, nt)
+			if rep := q.DeltaReport(); rep != "" {
+				for _, l := range strings.Split(strings.TrimRight(rep, "\n"), "\n") {
+					fmt.Fprintf(out, "    %s\n", l)
+				}
+			}
 			fmt.Fprintf(out, "  on error: %s\n", q.Degradation())
 			if last := q.LastResult(); last != nil {
 				fmt.Fprintf(out, "  last result: %d tuple(s)\n", last.Len())

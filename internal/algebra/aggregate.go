@@ -154,36 +154,71 @@ func Aggregate(r *XRelation, groupBy []string, aggs []AggSpec) (*XRelation, erro
 	if err != nil {
 		return nil, err
 	}
-	aggIdx := make([]int, len(aggs))
-	for i, a := range aggs {
-		if a.Func == Count && a.Attr == "" {
-			aggIdx[i] = -1
-			continue
-		}
-		j := r.Schema().RealIndex(a.Attr)
-		if j < 0 {
-			return nil, fmt.Errorf("algebra: unknown aggregate input %q", a.Attr)
-		}
-		aggIdx[i] = j
+	aggIdx, err := resolveAggIdx(r.Schema(), aggs)
+	if err != nil {
+		return nil, err
 	}
 
-	groups := map[string]*aggAcc{}
+	type group struct {
+		key     value.Tuple
+		members []value.Tuple
+	}
+	groups := map[string]*group{}
 	var order []string
 	for _, t := range r.Tuples() {
 		key := t.Project(keyIdx)
 		k := key.Key()
 		g, ok := groups[k]
 		if !ok {
-			g = &aggAcc{
-				key:     key,
-				nonNull: make([]int64, len(aggs)),
-				sum:     make([]float64, len(aggs)),
-				min:     make([]value.Value, len(aggs)),
-				max:     make([]value.Value, len(aggs)),
-			}
+			g = &group{key: key}
 			groups[k] = g
 			order = append(order, k)
 		}
+		g.members = append(g.members, t)
+	}
+	sort.Strings(order)
+	out := Empty(outSch)
+	for _, k := range order {
+		g := groups[k]
+		// Accumulate in key-sorted member order: floating-point sums depend
+		// on accumulation order, and the delta evaluator re-accumulates each
+		// dirty group in this order, so both evaluators must agree on it for
+		// bit-identical results (Definition 9 equivalence).
+		sort.Slice(g.members, func(i, j int) bool { return g.members[i].Key() < g.members[j].Key() })
+		out.add(accumulateGroup(g.key, g.members, aggs, aggIdx))
+	}
+	return out, nil
+}
+
+// resolveAggIdx maps each aggregate's input attribute to its real
+// coordinate (-1 for count(*), which reads no attribute).
+func resolveAggIdx(sch *schema.Extended, aggs []AggSpec) ([]int, error) {
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Func == Count && a.Attr == "" {
+			aggIdx[i] = -1
+			continue
+		}
+		j := sch.RealIndex(a.Attr)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: unknown aggregate input %q", a.Attr)
+		}
+		aggIdx[i] = j
+	}
+	return aggIdx, nil
+}
+
+// accumulateGroup folds one group's member tuples (in the caller-chosen
+// order — both evaluators use key-sorted order) into its result row.
+func accumulateGroup(key value.Tuple, members []value.Tuple, aggs []AggSpec, aggIdx []int) value.Tuple {
+	g := &aggAcc{
+		key:     key,
+		nonNull: make([]int64, len(aggs)),
+		sum:     make([]float64, len(aggs)),
+		min:     make([]value.Value, len(aggs)),
+		max:     make([]value.Value, len(aggs)),
+	}
+	for _, t := range members {
 		g.count++
 		for i := range aggs {
 			if aggIdx[i] < 0 {
@@ -209,18 +244,12 @@ func Aggregate(r *XRelation, groupBy []string, aggs []AggSpec) (*XRelation, erro
 			}
 		}
 	}
-	sort.Strings(order)
-	out := Empty(outSch)
-	for _, k := range order {
-		g := groups[k]
-		row := make(value.Tuple, 0, len(groupBy)+len(aggs))
-		row = append(row, g.key...)
-		for i, a := range aggs {
-			row = append(row, aggValue(a, g, i))
-		}
-		out.add(row)
+	row := make(value.Tuple, 0, len(key)+len(aggs))
+	row = append(row, g.key...)
+	for i, a := range aggs {
+		row = append(row, aggValue(a, g, i))
 	}
-	return out, nil
+	return row
 }
 
 // aggAcc accumulates one group's state.

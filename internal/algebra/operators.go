@@ -153,59 +153,81 @@ func Rename(r *XRelation, oldName, newName string) (*XRelation, error) {
 	return out, nil
 }
 
+// joinPlan is the precomputed physical layout of a natural join: the output
+// schema, each side's projection onto the shared real join attributes, and
+// the per-coordinate source of the result tuple. Deriving it once lets the
+// one-shot operator and the delta operator share identical tuple assembly.
+type joinPlan struct {
+	out        *schema.Extended
+	idx1, idx2 []int
+	steps      []joinStep
+}
+
+type joinStep struct {
+	fromR1 bool
+	pos    int
+}
+
+func buildJoinPlan(s1, s2 *schema.Extended) (*joinPlan, error) {
+	out, err := schema.JoinSchema(s1, s2)
+	if err != nil {
+		return nil, err
+	}
+	joinAttrs := schema.SharedRealJoinAttrs(s1, s2)
+	idx1, err := s1.RealIndexes(joinAttrs)
+	if err != nil {
+		return nil, err
+	}
+	idx2, err := s2.RealIndexes(joinAttrs)
+	if err != nil {
+		return nil, err
+	}
+	// Result tuple construction: for every real attribute of the output
+	// schema take the value from r1 when it is real there, else from r2.
+	steps := make([]joinStep, 0, out.RealArity())
+	for _, name := range out.RealNames() {
+		if s1.IsReal(name) {
+			steps = append(steps, joinStep{true, s1.RealIndex(name)})
+		} else {
+			steps = append(steps, joinStep{false, s2.RealIndex(name)})
+		}
+	}
+	return &joinPlan{out: out, idx1: idx1, idx2: idx2, steps: steps}, nil
+}
+
+func (p *joinPlan) combine(t1, t2 value.Tuple) value.Tuple {
+	nt := make(value.Tuple, len(p.steps))
+	for i, s := range p.steps {
+		if s.fromR1 {
+			nt[i] = t1[s.pos]
+		} else {
+			nt[i] = t2[s.pos]
+		}
+	}
+	return nt
+}
+
 // NaturalJoin computes r1 ⋈ r2 (Table 3d). Only attributes real in BOTH
 // operands imply a join predicate; when none exists the tuple-level result
 // is a Cartesian product. Attributes real in one operand and virtual in the
 // other are implicitly realized (their value comes from the real side).
 func NaturalJoin(r1, r2 *XRelation) (*XRelation, error) {
-	outSch, err := schema.JoinSchema(r1.Schema(), r2.Schema())
+	plan, err := buildJoinPlan(r1.Schema(), r2.Schema())
 	if err != nil {
 		return nil, err
-	}
-	joinAttrs := schema.SharedRealJoinAttrs(r1.Schema(), r2.Schema())
-	idx1, err := r1.Schema().RealIndexes(joinAttrs)
-	if err != nil {
-		return nil, err
-	}
-	idx2, err := r2.Schema().RealIndexes(joinAttrs)
-	if err != nil {
-		return nil, err
-	}
-
-	// Result tuple construction: for every real attribute of the output
-	// schema take the value from r1 when it is real there, else from r2.
-	type source struct {
-		fromR1 bool
-		pos    int
-	}
-	plan := make([]source, 0, outSch.RealArity())
-	for _, name := range outSch.RealNames() {
-		if r1.Schema().IsReal(name) {
-			plan = append(plan, source{true, r1.Schema().RealIndex(name)})
-		} else {
-			plan = append(plan, source{false, r2.Schema().RealIndex(name)})
-		}
 	}
 
 	// Hash join on the shared real attributes.
 	buckets := make(map[string][]value.Tuple, r2.Len())
 	for _, t2 := range r2.Tuples() {
-		k := t2.Project(idx2).Key()
+		k := t2.Project(plan.idx2).Key()
 		buckets[k] = append(buckets[k], t2)
 	}
-	out := Empty(outSch)
+	out := Empty(plan.out)
 	for _, t1 := range r1.Tuples() {
-		k := t1.Project(idx1).Key()
+		k := t1.Project(plan.idx1).Key()
 		for _, t2 := range buckets[k] {
-			nt := make(value.Tuple, len(plan))
-			for i, s := range plan {
-				if s.fromR1 {
-					nt[i] = t1[s.pos]
-				} else {
-					nt[i] = t2[s.pos]
-				}
-			}
-			out.add(nt)
+			out.add(plan.combine(t1, t2))
 		}
 	}
 	obsJoinCalls.Inc()
@@ -217,60 +239,86 @@ func NaturalJoin(r1, r2 *XRelation) (*XRelation, error) {
 // ---------------------------------------------------------------------------
 // Realization operators (Section 3.1.3, Table 3 e–f).
 
-// AssignConst computes α_{A:=a}(r) (Table 3e, constant form): the virtual
-// attribute A becomes real and every tuple gains the constant a at A's
-// coordinate. The constant must have (or coerce to) A's declared type.
-func AssignConst(r *XRelation, attr string, v value.Value) (*XRelation, error) {
-	outSch, err := schema.AssignSchema(r.Schema(), attr, "")
+// assignConstGen derives the α_{attr:=v} output schema and the per-tuple
+// generator for the realized coordinate, shared by the one-shot and delta
+// operators.
+func assignConstGen(in *schema.Extended, attr string, v value.Value) (*schema.Extended, func(value.Tuple) value.Value, error) {
+	outSch, err := schema.AssignSchema(in, attr, "")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	want, _ := outSch.TypeOf(attr)
 	cv, ok := value.Coerce(v, want)
 	if !ok {
-		return nil, fmt.Errorf("algebra: assignment %s := %s: constant type %s does not match attribute type %s",
+		return nil, nil, fmt.Errorf("algebra: assignment %s := %s: constant type %s does not match attribute type %s",
 			attr, v, v.Kind(), want)
 	}
-	return realize(r, outSch, func(value.Tuple) value.Value { return cv }, attr), nil
+	return outSch, func(value.Tuple) value.Value { return cv }, nil
 }
 
-// AssignAttr computes α_{A:=B}(r) (Table 3e, attribute form): A becomes
-// real with, per tuple, the value of the real attribute B.
-func AssignAttr(r *XRelation, attr, src string) (*XRelation, error) {
-	outSch, err := schema.AssignSchema(r.Schema(), attr, src)
+// assignAttrGen derives the α_{attr:=src} output schema and generator.
+func assignAttrGen(in *schema.Extended, attr, src string) (*schema.Extended, func(value.Tuple) value.Value, error) {
+	outSch, err := schema.AssignSchema(in, attr, src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	want, _ := outSch.TypeOf(attr)
-	srcIdx := r.Schema().RealIndex(src)
-	return realize(r, outSch, func(t value.Tuple) value.Value {
+	srcIdx := in.RealIndex(src)
+	return outSch, func(t value.Tuple) value.Value {
 		v, ok := value.Coerce(t[srcIdx], want)
 		if !ok {
 			return value.NewNull() // unreachable: AssignSchema checked types
 		}
 		return v
-	}, attr), nil
+	}, nil
+}
+
+// AssignConst computes α_{A:=a}(r) (Table 3e, constant form): the virtual
+// attribute A becomes real and every tuple gains the constant a at A's
+// coordinate. The constant must have (or coerce to) A's declared type.
+func AssignConst(r *XRelation, attr string, v value.Value) (*XRelation, error) {
+	outSch, gen, err := assignConstGen(r.Schema(), attr, v)
+	if err != nil {
+		return nil, err
+	}
+	return realize(r, outSch, gen), nil
+}
+
+// AssignAttr computes α_{A:=B}(r) (Table 3e, attribute form): A becomes
+// real with, per tuple, the value of the real attribute B.
+func AssignAttr(r *XRelation, attr, src string) (*XRelation, error) {
+	outSch, gen, err := assignAttrGen(r.Schema(), attr, src)
+	if err != nil {
+		return nil, err
+	}
+	return realize(r, outSch, gen), nil
 }
 
 // realize rebuilds tuples for a schema where exactly the named attributes
 // changed from virtual to real, pulling new coordinates from gen.
-func realize(r *XRelation, outSch *schema.Extended, gen func(value.Tuple) value.Value, attr string) *XRelation {
+func realize(r *XRelation, outSch *schema.Extended, gen func(value.Tuple) value.Value) *XRelation {
 	obsAssignCalls.Inc()
 	obsAssignRows.Add(int64(r.Len()))
 	plan := buildRealizePlan(r.Schema(), outSch)
 	out := Empty(outSch)
 	for _, t := range r.Tuples() {
-		nt := make(value.Tuple, len(plan))
-		for i, p := range plan {
-			if p.old >= 0 {
-				nt[i] = t[p.old]
-			} else {
-				nt[i] = gen(t)
-			}
-		}
-		out.add(nt)
+		out.add(realizeTuple(t, plan, gen))
 	}
 	return out
+}
+
+// realizeTuple assembles one output tuple from an input tuple and the
+// realize plan, generating newly realized coordinates with gen.
+func realizeTuple(t value.Tuple, plan []realizeStep, gen func(value.Tuple) value.Value) value.Tuple {
+	nt := make(value.Tuple, len(plan))
+	for i, p := range plan {
+		if p.old >= 0 {
+			nt[i] = t[p.old]
+		} else {
+			nt[i] = gen(t)
+		}
+	}
+	return nt
 }
 
 type realizeStep struct {
@@ -286,26 +334,33 @@ func buildRealizePlan(in, out *schema.Extended) []realizeStep {
 	return plan
 }
 
-// Invoke computes β_bp(r) (Table 3f): every input tuple triggers one
-// invocation of bp's prototype on the service its service attribute
-// references; the input tuple is replicated once per output tuple, gaining
-// the realized output attributes. Tuples whose service reference is NULL
-// contribute no output (there is no service to call). Invocation errors
-// abort the operator — error policy (skip/fail) belongs to the caller's
-// Invoker, which may substitute empty results.
-func Invoke(r *XRelation, bp schema.BindingPattern, inv Invoker) (*XRelation, error) {
-	outSch, err := schema.InvokeSchema(r.Schema(), bp)
+// InvokePlan is the precomputed physical layout of an invocation operator
+// β_bp over a fixed operand schema: the output schema, the coordinates of
+// the service reference and the prototype's input attributes, and the
+// assembly plan mapping (input tuple, prototype output row) pairs to output
+// tuples. Deriving it once per plan lets the one-shot operator and the
+// continuous executor's delta operator share identical tuple assembly.
+type InvokePlan struct {
+	OutSch *schema.Extended
+	SvcIdx int   // coordinate of bp's service attribute in the input tuple
+	InIdx  []int // coordinates of the prototype's input attributes
+	plan   []realizeStep
+	outPos []int // per plan step: position in the prototype output row, or -1
+}
+
+// NewInvokePlan derives the invocation layout for bp over the operand
+// schema.
+func NewInvokePlan(in *schema.Extended, bp schema.BindingPattern) (*InvokePlan, error) {
+	outSch, err := schema.InvokeSchema(in, bp)
 	if err != nil {
 		return nil, err
 	}
-	inSch := r.Schema()
-	svcIdx := inSch.RealIndex(bp.ServiceAttr)
-	inIdx, err := inSch.RealIndexes(bp.Proto.Input.Names())
+	inIdx, err := in.RealIndexes(bp.Proto.Input.Names())
 	if err != nil {
 		return nil, err
 	}
 	outNames := bp.Proto.Output
-	plan := buildRealizePlan(inSch, outSch)
+	plan := buildRealizePlan(in, outSch)
 	// Positions of realized attributes within the prototype output tuple.
 	outPos := make([]int, len(plan))
 	for i, p := range plan {
@@ -315,6 +370,49 @@ func Invoke(r *XRelation, bp schema.BindingPattern, inv Invoker) (*XRelation, er
 			outPos[i] = outNames.Index(p.name)
 		}
 	}
+	return &InvokePlan{
+		OutSch: outSch,
+		SvcIdx: in.RealIndex(bp.ServiceAttr),
+		InIdx:  inIdx,
+		plan:   plan,
+		outPos: outPos,
+	}, nil
+}
+
+// Realize replicates the input tuple once per prototype output row, each
+// copy gaining the realized output attributes.
+func (p *InvokePlan) Realize(in value.Tuple, rows []value.Tuple) []value.Tuple {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]value.Tuple, len(rows))
+	for r, row := range rows {
+		nt := make(value.Tuple, len(p.plan))
+		for i, step := range p.plan {
+			if step.old >= 0 {
+				nt[i] = in[step.old]
+			} else {
+				nt[i] = row[p.outPos[i]]
+			}
+		}
+		out[r] = nt
+	}
+	return out
+}
+
+// Invoke computes β_bp(r) (Table 3f): every input tuple triggers one
+// invocation of bp's prototype on the service its service attribute
+// references; the input tuple is replicated once per output tuple, gaining
+// the realized output attributes. Tuples whose service reference is NULL
+// contribute no output (there is no service to call). Invocation errors
+// abort the operator — error policy (skip/fail) belongs to the caller's
+// Invoker, which may substitute empty results.
+func Invoke(r *XRelation, bp schema.BindingPattern, inv Invoker) (*XRelation, error) {
+	ip, err := NewInvokePlan(r.Schema(), bp)
+	if err != nil {
+		return nil, err
+	}
+	svcIdx, inIdx := ip.SvcIdx, ip.InIdx
 
 	// Collect the invocation work list first (skipping NULL references),
 	// then run it — sequentially, or concurrently when the Invoker allows
@@ -429,17 +527,9 @@ func Invoke(r *XRelation, bp schema.BindingPattern, inv Invoker) (*XRelation, er
 		}
 	}
 
-	out := Empty(outSch)
+	out := Empty(ip.OutSch)
 	for i, j := range jobs {
-		for _, row := range results[i] {
-			nt := make(value.Tuple, len(plan))
-			for k, p := range plan {
-				if p.old >= 0 {
-					nt[k] = j.tuple[p.old]
-				} else {
-					nt[k] = row[outPos[k]]
-				}
-			}
+		for _, nt := range ip.Realize(j.tuple, results[i]) {
 			out.add(nt)
 		}
 	}

@@ -56,6 +56,24 @@ func Empty(sch *schema.Extended) *XRelation {
 	return &XRelation{sch: sch, keys: make(map[string]bool)}
 }
 
+// FromKeyed builds an X-Relation from an already-deduplicated key → tuple
+// map whose tuples are known to conform to the schema (they came out of
+// operators over this schema). It skips per-tuple conformance and reuses
+// the map's keys, so materializing a maintained result is O(n) map copies
+// with no re-validation. Tuple order is unspecified (set semantics).
+func FromKeyed(sch *schema.Extended, m map[string]value.Tuple) *XRelation {
+	r := &XRelation{
+		sch:    sch,
+		tuples: make([]value.Tuple, 0, len(m)),
+		keys:   make(map[string]bool, len(m)),
+	}
+	for k, t := range m {
+		r.keys[k] = true
+		r.tuples = append(r.tuples, t)
+	}
+	return r
+}
+
 // add inserts a conformed tuple, keeping set semantics.
 func (r *XRelation) add(t value.Tuple) {
 	k := t.Key()

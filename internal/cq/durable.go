@@ -273,6 +273,15 @@ func (e *Executor) Restore(st CheckpointState) error {
 		for _, a := range qs.Actions {
 			q.actions.Add(a)
 		}
+		// Delta operator state (window multisets, join indexes, aggregate
+		// accumulators) is not serialized: it is a pure function of the
+		// restored relations and the maps above, so invalidating the program
+		// makes the first post-restore tick rebuild it — with the restored
+		// invocation cache (including SeedActive's orphan pins) keeping
+		// active β invocations from re-firing.
+		if q.delta != nil {
+			q.delta.invalidate()
+		}
 	}
 	return nil
 }

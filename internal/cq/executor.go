@@ -28,16 +28,26 @@ import (
 	"serena/internal/value"
 )
 
-// Continuous-execution metrics: tick latency, Section 4.2 delta-cache
-// effectiveness, and per-stream instant lag (clock instant minus the last
-// instant with events — how stale each stream is).
+// Continuous-execution metrics: tick latency, Section 4.2 invocation-cache
+// effectiveness, operator-level delta-path volume, and per-stream instant
+// lag (clock instant minus the last instant with events — how stale each
+// stream is).
+//
+// cq.invoke_cache.* is the Section 4.2 cross-instant invocation memo
+// (formerly misnamed cq.delta_cache.*, which conflated it with the
+// operator-level delta evaluation the cq.delta.* family now covers).
 var (
-	obsTickLatency   = obs.Default.Histogram("cq.tick.latency")
-	obsTicks         = obs.Default.Counter("cq.ticks")
-	obsDeltaHits     = obs.Default.Counter("cq.delta_cache.hits")
-	obsDeltaMisses   = obs.Default.Counter("cq.delta_cache.misses")
-	obsQueryEvals    = obs.Default.Counter("cq.query.evals")
-	obsQueryEvalTime = obs.Default.Histogram("cq.query.eval_latency")
+	obsTickLatency        = obs.Default.Histogram("cq.tick.latency")
+	obsTicks              = obs.Default.Counter("cq.ticks")
+	obsInvokeCacheHits    = obs.Default.Counter("cq.invoke_cache.hits")
+	obsInvokeCacheMisses  = obs.Default.Counter("cq.invoke_cache.misses")
+	obsQueryEvals         = obs.Default.Counter("cq.query.evals")
+	obsQueryEvalTime      = obs.Default.Histogram("cq.query.eval_latency")
+	obsDeltaTicks         = obs.Default.Counter("cq.delta.ticks")
+	obsDeltaFallbackTicks = obs.Default.Counter("cq.delta.fallback_ticks")
+	obsDeltaReinits       = obs.Default.Counter("cq.delta.reinits")
+	obsDeltaRowsIn        = obs.Default.Counter("cq.delta.rows_in")
+	obsDeltaRowsOut       = obs.Default.Counter("cq.delta.rows_out")
 )
 
 // Executor owns a set of dynamic relations and registered continuous
@@ -213,6 +223,17 @@ type Query struct {
 	// instants this query was skipped under overload.
 	hasActive bool
 	coalesced int64
+
+	// delta is the compiled incremental-evaluation program (see delta.go),
+	// nil when the plan has no delta form (the query then runs naive-only;
+	// deltaErr records why). naive, guarded by mu, pins the query to the
+	// naive path (SetNaiveEvaluation); deltaTicks/naiveTicks (mu) count
+	// instants evaluated by each path.
+	delta      *deltaProgram
+	deltaErr   string
+	naive      bool
+	deltaTicks int64
+	naiveTicks int64
 }
 
 // Name returns the query's registration name.
@@ -329,6 +350,15 @@ func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
 	}
 	q.indexPlanNodes()
 	e.computeHasActive(q)
+	// Compile the incremental-evaluation program (delta.go). A plan some
+	// delta operator cannot cover falls back to the naive evaluator — the
+	// query still runs, just re-evaluating per tick.
+	if p, derr := compileDelta(e, q); derr == nil {
+		q.delta = p
+	} else {
+		q.deltaErr = derr.Error()
+		slog.Info("cq: query runs naive (no delta form)", "query", name, "reason", derr.Error())
+	}
 	e.queries[name] = q
 	e.order = append(e.order, name)
 	e.recordWindows(plan)
@@ -803,8 +833,27 @@ func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span, rep
 		q.recordInvokeError(query.InvokeError{BP: bp.ID(), Ref: ref, Input: input.Clone(), Err: err})
 		return nil
 	}
+	// Evaluator selection: the compiled delta program unless the query is
+	// pinned naive (or never compiled). Both paths produce the same
+	// (result, cur, inserted, deleted) quadruple — the differential test
+	// harness holds them to bit-identical results and action sets.
+	q.mu.Lock()
+	useDelta := q.delta != nil && !q.naive
+	q.mu.Unlock()
+	qspan.SetAttr("evaluator", map[bool]string{true: "delta", false: "naive"}[useDelta])
+
 	evalStart := time.Now()
-	res, err := ev.eval(q.plan)
+	var (
+		res                *algebra.XRelation
+		cur                map[string]value.Tuple
+		inserted, deleted  []value.Tuple
+		err                error
+	)
+	if useDelta {
+		res, cur, inserted, deleted, err = ev.evalDelta()
+	} else {
+		res, err = ev.eval(q.plan)
+	}
 	ctx.PublishObsStats()
 	obsQueryEvals.Inc()
 	obsQueryEvalTime.Observe(time.Since(evalStart))
@@ -812,6 +861,11 @@ func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span, rep
 		qspan.SetAttr("error", err.Error())
 		qspan.Finish()
 		return err
+	}
+	if useDelta {
+		obsDeltaTicks.Inc()
+	} else if q.delta != nil {
+		obsDeltaFallbackTicks.Inc()
 	}
 	qspan.SetAttrInt("rows", int64(res.Len()))
 	qspan.Finish()
@@ -821,26 +875,33 @@ func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span, rep
 	q.stats.Passive += ctx.Stats.Passive
 	q.stats.Memoized += ctx.Stats.Memoized
 	q.stats.Coalesced += ctx.Stats.Coalesced
+	if useDelta {
+		q.deltaTicks++
+	} else {
+		q.naiveTicks++
+	}
 	q.mu.Unlock()
 	for _, a := range ctx.Actions.Sorted() {
 		q.actions.Add(a)
 	}
 
-	// Delta the instantaneous result against the previous instant and feed
-	// the output XD-Relation.
-	cur := map[string]value.Tuple{}
-	for _, t := range res.Tuples() {
-		cur[t.Key()] = t
-	}
-	var inserted, deleted []value.Tuple
-	for k, t := range cur {
-		if _, ok := q.prevOutput[k]; !ok {
-			inserted = append(inserted, t)
+	if !useDelta {
+		// Delta the instantaneous result against the previous instant (the
+		// incremental path derived all four pieces directly from the root
+		// operator's delta).
+		cur = map[string]value.Tuple{}
+		for _, t := range res.Tuples() {
+			cur[t.Key()] = t
 		}
-	}
-	for k, t := range q.prevOutput {
-		if _, ok := cur[k]; !ok {
-			deleted = append(deleted, t)
+		for k, t := range cur {
+			if _, ok := q.prevOutput[k]; !ok {
+				inserted = append(inserted, t)
+			}
+		}
+		for k, t := range q.prevOutput {
+			if _, ok := cur[k]; !ok {
+				deleted = append(deleted, t)
+			}
 		}
 	}
 	sortTuples(inserted)
@@ -1134,13 +1195,13 @@ func (d *deltaInvoker) InvokeBatch(bp schema.BindingPattern, refs []string, inpu
 			d.next[key] = rows
 			out[i].Rows = rows
 			d.hits.Add(1)
-			obsDeltaHits.Inc()
+			obsInvokeCacheHits.Inc()
 			continue
 		}
 		if rows, ok := d.next[key]; ok {
 			out[i].Rows = rows
 			d.hits.Add(1)
-			obsDeltaHits.Inc()
+			obsInvokeCacheHits.Inc()
 			continue
 		}
 		missIdx = append(missIdx, i)
@@ -1149,7 +1210,7 @@ func (d *deltaInvoker) InvokeBatch(bp schema.BindingPattern, refs []string, inpu
 	if len(missIdx) == 0 {
 		return out
 	}
-	obsDeltaMisses.Add(int64(len(missIdx)))
+	obsInvokeCacheMisses.Add(int64(len(missIdx)))
 	d.misses.Add(int64(len(missIdx)))
 	missRefs := make([]string, len(missIdx))
 	missInputs := make([]value.Tuple, len(missIdx))
@@ -1178,22 +1239,42 @@ func (d *deltaInvoker) Invoke(bp schema.BindingPattern, ref string, input value.
 	if rows, ok := d.cache[key]; ok {
 		d.next[key] = rows
 		d.mu.Unlock()
-		obsDeltaHits.Inc()
+		obsInvokeCacheHits.Inc()
 		d.hits.Add(1)
 		return rows, nil
 	}
 	if rows, ok := d.next[key]; ok {
 		d.mu.Unlock()
-		obsDeltaHits.Inc()
+		obsInvokeCacheHits.Inc()
 		d.hits.Add(1)
 		return rows, nil
 	}
 	d.mu.Unlock()
-	obsDeltaMisses.Inc()
+	obsInvokeCacheMisses.Inc()
 	d.misses.Add(1)
 
-	ev := d.ev
+	rows, cacheable, err := d.ev.invokePhysical(d.node, bp, ref, input)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		d.mu.Lock()
+		d.next[key] = rows
+		d.mu.Unlock()
+	}
+	return rows, nil
+}
+
+// invokePhysical is the cache-independent core of one β invocation,
+// shared by the naive deltaInvoker and the incremental deltaInvoke
+// operator: replay-ledger consultation for active patterns, the
+// effectful-once WAL bracket, the tracked call itself, and the degradation
+// policy's absorbed-failure handling. cacheable reports whether the rows
+// may enter the cross-instant invocation cache (false for absorbed
+// failures and unknown replay outcomes — those retry next instant).
+func (ev *evaluator) invokePhysical(node *query.Invoke, bp schema.BindingPattern, ref string, input value.Tuple) (rows []value.Tuple, cacheable bool, err error) {
 	if bp.Active() && ev.replay != nil {
+		key := bp.ID() + "|" + ref + "|" + input.Key()
 		if ent, ok := ev.replay[key]; ok {
 			// The action fired (or at least durably intended to) before the
 			// crash: it joins the action set and counts as physical, but is
@@ -1202,15 +1283,12 @@ func (d *deltaInvoker) Invoke(bp schema.BindingPattern, ref string, input value.
 			ev.ctx.Actions.Add(query.Action{BP: bp.ID(), Ref: ref, Input: input.Clone()})
 			ev.ctx.CountActive()
 			if ent.Completed && ent.OK {
-				d.mu.Lock()
-				d.next[key] = ent.Rows
-				d.mu.Unlock()
-				return ent.Rows, nil
+				return ent.Rows, true, nil
 			}
 			// Failed or unknown outcome: behave like an absorbed failure —
 			// contribute no rows and stay uncached, so the live retry at the
 			// next instant (itself in the log) replays identically.
-			return nil, nil
+			return nil, false, nil
 		}
 		// No ledger entry means the intent never became durable, so the call
 		// never fired live; fall through and fire it for real.
@@ -1219,16 +1297,16 @@ func (d *deltaInvoker) Invoke(bp schema.BindingPattern, ref string, input value.
 	logActive := bp.Active() && ev.replay == nil && ev.exec.dur != nil
 	var nodeIdx int
 	if logActive {
-		nodeIdx = ev.q.invIdx[d.node]
+		nodeIdx = ev.q.invIdx[node]
 		// Effectful-once: the intent must be durable BEFORE the physical
 		// call. If it cannot be persisted, firing would risk an invisible
 		// duplicate after a crash — abort the invocation instead.
 		if err := ev.exec.dur.ActiveIntent(ev.q.name, nodeIdx, bp.ID(), ref, input, ev.at); err != nil {
-			return nil, fmt.Errorf("durable intent for %s on %s: %w", bp.ID(), ref, err)
+			return nil, false, fmt.Errorf("durable intent for %s on %s: %w", bp.ID(), ref, err)
 		}
 	}
 	skipped := new(bool)
-	rows, err := ev.ctx.InvokeTracked(bp, ref, input, skipped)
+	rows, err = ev.ctx.InvokeTracked(bp, ref, input, skipped)
 	if logActive {
 		ok := err == nil && !*skipped
 		var res []value.Tuple
@@ -1240,17 +1318,11 @@ func (d *deltaInvoker) Invoke(bp schema.BindingPattern, ref string, input value.
 		_ = ev.exec.dur.ActiveResult(ev.q.name, nodeIdx, bp.ID(), ref, input, ev.at, ok, res)
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	if *skipped {
-		// Failed invocation absorbed by the degradation policy: pass its
-		// stand-in rows through (nothing for SkipTuple, an all-NULL fill
-		// for NullFill) WITHOUT caching them, so the tuple is retried at
-		// the next instant.
-		return rows, nil
-	}
-	d.mu.Lock()
-	d.next[key] = rows
-	d.mu.Unlock()
-	return rows, nil
+	// A skipped invocation was absorbed by the degradation policy: its
+	// stand-in rows pass through (nothing for SkipTuple, an all-NULL fill
+	// for NullFill) WITHOUT being cacheable, so the tuple is retried at
+	// the next instant.
+	return rows, !*skipped, nil
 }

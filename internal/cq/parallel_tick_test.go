@@ -187,3 +187,127 @@ func TestParallelTickEquivalentToSequential(t *testing.T) {
 		t.Fatal("hot view differs between sequential and parallel ticks")
 	}
 }
+
+// TestParallelDeltaEquivalentToSequentialNaive is the incremental
+// evaluator's concurrency gate (run it under -race): four delta queries
+// tick under SetQueryParallelism(4) — so independent operator trees mutate
+// their join indexes, gates, and accumulators on different goroutines in
+// the same stage — while reader goroutines hammer the delta observability
+// surface mid-tick. The outcome must be bit-identical to the oracle: the
+// same scenario, fully sequential (P=1), every query pinned naive.
+func TestParallelDeltaEquivalentToSequentialNaive(t *testing.T) {
+	plans := func() map[string]query.Node {
+		return map[string]query.Node{
+			"q3": q3(),
+			"hot": query.NewSelect(
+				query.NewWindow(query.NewBase("temperatures"), 2),
+				algebra.Compare(algebra.Attr("temperature"), algebra.Gt, algebra.Const(value.NewReal(28)))),
+			"climate": query.NewAggregate(
+				query.NewWindow(query.NewBase("temperatures"), 3),
+				[]string{"location"},
+				[]algebra.AggSpec{
+					{Func: algebra.Count, As: "n"},
+					{Func: algebra.Mean, Attr: "temperature", As: "avg"},
+					{Func: algebra.Max, Attr: "temperature", As: "high"},
+				}),
+			"photos": query.NewInvoke(query.NewBase("cameras"), "checkPhoto", "camera"),
+		}
+	}
+	names := []string{"q3", "hot", "climate", "photos"}
+
+	type outcome struct {
+		results    map[string]*algebra.XRelation
+		actions    *query.ActionSet
+		deliveries int
+	}
+	run := func(parallelDelta bool) outcome {
+		s := newScenario(t)
+		qs := map[string]*cq.Query{}
+		for name, plan := range plans() {
+			q, err := s.exec.Register(name, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs[name] = q
+		}
+		if parallelDelta {
+			s.exec.SetQueryParallelism(4)
+			for _, name := range names {
+				if got := qs[name].EvaluationMode(); got != "delta" {
+					t.Fatalf("query %s runs %q, want delta", name, got)
+				}
+			}
+		} else {
+			for _, name := range names {
+				if err := s.exec.SetNaiveEvaluation(name, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		s.dev.Sensors["sensor06"].Heat(device.HeatEvent{From: 3, To: 7, Delta: 20})
+		s.dev.Sensors["sensor01"].Heat(device.HeatEvent{From: 5, To: 9, Delta: 15})
+
+		// Concurrent readers: the delta report walks per-node atomic
+		// counters the tick goroutines are bumping right now.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if parallelDelta {
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for _, name := range names {
+							_ = qs[name].DeltaReport()
+							_, _ = qs[name].EvalCounts()
+							_ = qs[name].EvaluationMode()
+							_ = qs[name].LastResult()
+						}
+					}
+				}()
+			}
+		}
+		if err := s.exec.RunUntil(12); err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		wg.Wait()
+
+		o := outcome{
+			results:    map[string]*algebra.XRelation{},
+			actions:    qs["q3"].Actions(),
+			deliveries: len(s.dev.Messengers["email"].Outbox()) + len(s.dev.Messengers["jabber"].Outbox()),
+		}
+		for _, name := range names {
+			o.results[name] = qs[name].LastResult()
+		}
+		if parallelDelta {
+			for _, name := range names {
+				if d, n := qs[name].EvalCounts(); d == 0 || n != 0 {
+					t.Fatalf("query %s EvalCounts = (%d, %d), want all-delta", name, d, n)
+				}
+			}
+		}
+		return o
+	}
+
+	oracle := run(false)
+	par := run(true)
+	for _, name := range names {
+		if !oracle.results[name].EqualContents(par.results[name]) {
+			t.Errorf("query %s diverged from the sequential naive oracle\n naive: %s\n delta: %s",
+				name, oracle.results[name], par.results[name])
+		}
+	}
+	if !oracle.actions.Equal(par.actions) {
+		t.Errorf("q3 action sets diverged\n naive: %s\n delta: %s", oracle.actions, par.actions)
+	}
+	if oracle.deliveries != par.deliveries {
+		t.Errorf("physical deliveries diverged: %d naive vs %d delta", oracle.deliveries, par.deliveries)
+	}
+}

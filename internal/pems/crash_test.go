@@ -45,6 +45,14 @@ const (
 	crashForwardQ = `invoke[sendMessage](assign[text := title](join(
 		select[name = "Carla"](contacts),
 		project[title](select[title contains "Obama"](window[3600](news))))))`
+	// digest keeps the incremental evaluator's stateful operators loaded at
+	// every kill point: a ⋈ whose probe indexes grow each instant (recently
+	// active feeds against the long item window) feeding per-group
+	// count/min/max accumulators. None of that operator state is
+	// checkpointed — recovery must rebuild it from the WAL-replayed event
+	// logs and still match the never-crashed control bit-for-bit.
+	crashDigestQ = `aggregate[count(*) as total, min(published) as first, max(published) as latest by feed](
+		join(project[feed](window[2](news)), window[3600](news)))`
 )
 
 // fileMessenger implements sendMessage by appending one line per physical
@@ -111,6 +119,9 @@ func buildCrashEnv(dir, side string) (*pems.PEMS, wal.Info, error) {
 		if _, err := p.RegisterQuery("forward", crashForwardQ, false); err != nil {
 			return nil, wal.Info{}, err
 		}
+		if _, err := p.RegisterQuery("digest", crashDigestQ, false); err != nil {
+			return nil, wal.Info{}, err
+		}
 	}
 	return p, info, nil
 }
@@ -143,6 +154,9 @@ func controlEnv(t *testing.T, side string) *pems.PEMS {
 		t.Fatal(err)
 	}
 	if _, err := p.RegisterQuery("forward", crashForwardQ, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterQuery("digest", crashDigestQ, false); err != nil {
 		t.Fatal(err)
 	}
 	return p
@@ -264,6 +278,27 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	}
 	if missing := fwdC.LastResult().Len() - fwdR.LastResult().Len(); missing > 0 {
 		t.Logf("forward: %d row(s) absent vs control (orphaned β, at-most-once)", missing)
+	}
+
+	// The join + aggregate query recovered mid-flight: its probe indexes
+	// and per-group accumulators existed only in memory when the kills
+	// landed, so matching the control proves the incremental evaluator
+	// rebuilt them from the WAL-replayed relations — and kept using the
+	// delta path afterwards, not a silent naive fallback.
+	digR, ok := p.Executor().Query("digest")
+	if !ok {
+		t.Fatal("digest query lost across crashes")
+	}
+	digC, _ := ctl.Executor().Query("digest")
+	if !digR.LastResult().EqualContents(digC.LastResult()) {
+		t.Errorf("digest at instant %d: recovered aggregate differs from control\n recovered: %s\n control:   %s",
+			target, digR.LastResult(), digC.LastResult())
+	}
+	if got := digR.EvaluationMode(); got != "delta" {
+		t.Errorf("recovered digest runs %q, want delta", got)
+	}
+	if d, _ := digR.EvalCounts(); d == 0 {
+		t.Error("recovered digest never took a delta tick")
 	}
 
 	// The effectful-once guarantee: across all lives, no (address, text)

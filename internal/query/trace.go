@@ -154,6 +154,10 @@ func (t *Traced) Self() time.Duration {
 }
 
 // opLabel renders just the operator head (no operands) for plan lines.
+// OpLabel renders a node's operator head (no children) — the label used by
+// EXPLAIN ANALYZE rows and the continuous executor's delta report.
+func OpLabel(n Node) string { return opLabel(n) }
+
 func opLabel(n Node) string {
 	switch t := n.(type) {
 	case *Base:

@@ -244,6 +244,24 @@ func (x *XDRelation) DeletedIn(from, to service.Instant) []value.Tuple {
 	return out
 }
 
+// EventsIn returns the events (inserts AND deletes, in log order) recorded
+// in (from, to]. This is the delta-emission primitive of the incremental
+// evaluator: a consumer that saw the multiset as of `from` reconstructs the
+// multiset as of `to` by replaying exactly these events.
+func (x *XDRelation) EventsIn(from, to service.Instant) []Event {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []Event
+	for i := x.firstEventAfterLocked(from); i < len(x.events); i++ {
+		ev := x.events[i]
+		if ev.At > to {
+			break
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
 // firstEventAfterLocked binary-searches the first event with At > from.
 func (x *XDRelation) firstEventAfterLocked(from service.Instant) int {
 	return sort.Search(len(x.events), func(i int) bool { return x.events[i].At > from })
