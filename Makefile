@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-check soak experiments fuzz examples fmt vet check clean
+.PHONY: all build test race cover bench bench-check soak e2e experiments fuzz examples fmt vet check clean
 
 all: build vet test
 
@@ -52,6 +52,12 @@ bench-check:
 # the SIGKILL crash-during-overload variant (see scripts/soak.sh).
 soak:
 	sh scripts/soak.sh
+
+# End-to-end dead-man smoke: boot pemsd + serena over the wire, register
+# a CQ over sys$streams, SIGKILL the node, and assert the STALLED tuple
+# plus the /debug/health and /metrics surfaces (see scripts/e2e_smoke.sh).
+e2e:
+	bash scripts/e2e_smoke.sh
 
 # Regenerate the EXPERIMENTS.md tables.
 experiments:

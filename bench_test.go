@@ -17,6 +17,7 @@ import (
 	"serena/internal/cq"
 	"serena/internal/device"
 	"serena/internal/discovery"
+	"serena/internal/obs"
 	"serena/internal/optimizer"
 	"serena/internal/paperenv"
 	"serena/internal/query"
@@ -751,5 +752,93 @@ func BenchmarkInvokeBatch(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("pertuple/n=%d", n), func(b *testing.B) { run(b, -1) })
 		b.Run(fmt.Sprintf("batch/n=%d", n), func(b *testing.B) { run(b, 0) })
+	}
+}
+
+// ---------------------------------------------------------------------------
+// O-1: self-telemetry overhead. The identical continuous workload — a
+// windowed selection over a stream fed 8 fresh readings per instant — is
+// ticked with the health scraper off vs on at the default interval (scrape
+// every instant). The scraper's budget is ≤5% per-tick overhead: it samples
+// the metrics registry, runs the per-query and per-stream health state
+// machines, and reconciles the three sys$ relations, all off the query
+// evaluation path. The scraper gets its own registry carrying a fixed
+// synthetic metric population (bumped per tick in both modes) so the
+// measurement is hermetic: scraping the process-global obs.Default would
+// make the number depend on whichever benchmarks ran earlier.
+
+func BenchmarkTickTelemetryOverhead(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run("telemetry="+mode, func(b *testing.B) { benchTelemetryTick(b, mode == "on") })
+	}
+}
+
+func benchTelemetryTick(b *testing.B, telemetry bool) {
+	env := bench.MustGenerate(bench.Config{Sensors: 16, Cameras: 1, Contacts: 1, Locations: 4, Seed: 1})
+	readings := stream.NewInfinite(schema.MustExtended("readings", []schema.ExtAttr{
+		{Attribute: schema.Attribute{Name: "sensor", Type: value.Service}},
+		{Attribute: schema.Attribute{Name: "temperature", Type: value.Real}},
+	}, nil))
+	// A fixed metric population on the scraper's dedicated registry, sized
+	// like a busy engine: 40 counters, 20 gauges, 6 histograms.
+	reg := obs.New()
+	for i := 0; i < 40; i++ {
+		reg.Counter(fmt.Sprintf("bench.counter%02d", i)).Inc()
+	}
+	for i := 0; i < 20; i++ {
+		reg.Gauge(fmt.Sprintf("bench.gauge%02d", i)).Set(int64(i))
+	}
+	for i := 0; i < 6; i++ {
+		reg.Histogram(fmt.Sprintf("bench.hist%d", i)).Observe(1000)
+	}
+	exec := cq.NewExecutor(env.Registry)
+	if telemetry {
+		if _, err := exec.EnableSelfTelemetry(cq.TelemetryOptions{Registry: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := exec.AddRelation(readings); err != nil {
+		b.Fatal(err)
+	}
+	seq := 0
+	exec.AddSource(func(at service.Instant) error {
+		// Churn a subset of the registry every tick (identical work in both
+		// modes) so the scraper's change-stream has rows to emit.
+		for j := 0; j < 8; j++ {
+			reg.Counter(fmt.Sprintf("bench.counter%02d", (seq+j)%40)).Inc()
+		}
+		for j := 0; j < 4; j++ {
+			reg.Gauge(fmt.Sprintf("bench.gauge%02d", (seq+j)%20)).Set(int64(seq + j))
+		}
+		reg.Histogram("bench.hist0").Observe(time.Duration(1000 + seq%1000))
+		for j := 0; j < 8; j++ {
+			ref := fmt.Sprintf("sensor%04d", seq%16)
+			err := readings.Insert(at, value.Tuple{
+				value.NewService(ref), value.NewReal(float64(seq % 40)),
+			})
+			if err != nil {
+				return err
+			}
+			seq++
+		}
+		return nil
+	})
+	_, err := exec.Register("hot", query.NewSelect(
+		query.NewWindow(query.NewBase("readings"), 64),
+		algebra.Compare(algebra.Attr("temperature"), algebra.Gt, algebra.Const(value.NewReal(30)))))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up past the window build and the scraper's first full reconcile.
+	for i := 0; i < 2; i++ {
+		if _, err := exec.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Tick(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

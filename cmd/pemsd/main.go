@@ -24,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"serena/internal/cq"
 	"serena/internal/device"
 	"serena/internal/obs"
 	"serena/internal/pems"
@@ -63,6 +65,7 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-interval", 0, "ticks between automatic checkpoints (0 = default, with -data-dir)")
 	tick := flag.Duration("tick", time.Second, "continuous clock interval of the embedded core (with -data-dir)")
 	initScript := flag.String("init", "", "DDL script executed once, on a fresh data dir (with -data-dir)")
+	telemetry := flag.Bool("telemetry", true, "feed the embedded core's sys$ system relations and health states (with -data-dir)")
 	verbose := flag.Bool("v", false, "debug-level logging")
 	flag.Parse()
 
@@ -120,7 +123,7 @@ func main() {
 	}
 
 	if core != nil {
-		if err := startCore(logger, core, *dataDir, *fsyncPolicy, *ckptEvery, *tick, *initScript); err != nil {
+		if err := startCore(logger, core, *dataDir, *fsyncPolicy, *ckptEvery, *tick, *initScript, *telemetry); err != nil {
 			fatal(logger, err)
 		}
 	}
@@ -139,9 +142,19 @@ func main() {
 	fmt.Printf("pemsd: connect from the core with: serena -connect %s\n", addr)
 
 	if *debugAddr != "" {
-		mux := obs.DebugMux(func(w io.Writer) { writeStatus(w, *node, addr, reg) }, map[string]http.Handler{
+		extra := map[string]http.Handler{
 			"/debug/trace": trace.Handler(trace.Default),
-		})
+		}
+		if core != nil {
+			c := core
+			extra["/debug/health"] = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(c.HealthReport())
+			})
+		}
+		mux := obs.DebugMux(func(w io.Writer) { writeStatus(w, *node, addr, reg) }, extra)
 		hsrv := &http.Server{Addr: *debugAddr, Handler: mux}
 		go func() {
 			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -170,13 +183,20 @@ func main() {
 // startCore enables durability on the embedded PEMS, recovers the
 // environment from the data directory, runs the init script on a fresh
 // directory, and starts the real-time clock.
-func startCore(logger *slog.Logger, core *pems.PEMS, dataDir, fsyncPolicy string, ckptEvery int, tick time.Duration, initScript string) error {
+func startCore(logger *slog.Logger, core *pems.PEMS, dataDir, fsyncPolicy string, ckptEvery int, tick time.Duration, initScript string, telemetry bool) error {
 	pol, err := wal.ParseSyncPolicy(fsyncPolicy)
 	if err != nil {
 		return err
 	}
 	if err := core.EnableDurability(dataDir, wal.Options{Fsync: pol, CheckpointEvery: ckptEvery}); err != nil {
 		return err
+	}
+	// Before Recover: WAL-logged queries over sys$ relations need the
+	// relations to exist to re-register.
+	if telemetry {
+		if _, err := core.EnableSelfTelemetry(cq.TelemetryOptions{}); err != nil {
+			return err
+		}
 	}
 	info, err := core.Recover()
 	if err != nil {

@@ -37,6 +37,7 @@ import (
 	"serena/internal/query"
 	"serena/internal/resilience"
 	"serena/internal/schema"
+	"serena/internal/service"
 	"serena/internal/trace"
 	"serena/internal/value"
 	"serena/internal/wal"
@@ -68,6 +69,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "enable durability: WAL + checkpoints in this directory")
 	fsyncPolicy := flag.String("fsync", "interval", "WAL fsync policy: always|interval|off (with -data-dir)")
 	ckptEvery := flag.Int("checkpoint-interval", 0, "ticks between automatic checkpoints (0 = default, with -data-dir)")
+	telemetry := flag.Bool("telemetry", true, "feed the sys$metrics/sys$health/sys$streams system relations and the health state machine")
+	telemetryInterval := flag.Int("telemetry-interval", 1, "instants between telemetry scrapes")
 	flag.Parse()
 
 	p := pems.New()
@@ -115,6 +118,14 @@ func main() {
 			FailureThreshold: *breakerFailures,
 			Cooldown:         *breakerCooldown,
 		})
+	}
+
+	// Self-telemetry must precede Recover: a WAL-logged query over a sys$
+	// relation can only re-register if the relation already exists.
+	if *telemetry {
+		if _, err := p.EnableSelfTelemetry(cq.TelemetryOptions{Interval: service.Instant(*telemetryInterval)}); err != nil {
+			log.Fatalf("serena: telemetry: %v", err)
+		}
 	}
 
 	if *dataDir != "" {
@@ -422,6 +433,9 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
   .lineage <query|""> [key]       list retained invocations feeding a query / touching a tuple
   .sample <n>                     trace one in n ticks/evaluations (0 = off)
   .overload                       show tick budget, admission and ingest-buffer posture
+  .health                         show per-query health states and stream dead-man posture
+  .cadence <stream> <n>           dead-man: flag <stream> STALLED after n silent instants (0 = off)
+  .poll <name> <proto> <svcAttr>  create a poll stream over a passive input-free prototype
   .metrics                        dump the process-wide metrics registry
   .dump                           print the environment as re-executable DDL
   .checkpoint                     force a durable snapshot now (-data-dir)
@@ -714,6 +728,37 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
 		fmt.Fprintf(out, "truncated bytes: %d (damaged tail discarded)\n", r.TruncatedBytes)
 	case ".overload":
 		fmt.Fprint(out, p.OverloadReport())
+	case ".health":
+		fmt.Fprint(out, p.HealthReportText())
+	case ".cadence":
+		if len(fields) != 3 {
+			fmt.Fprintln(out, "usage: .cadence <stream> <n>  (0 turns the dead-man off)")
+			break
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			fmt.Fprintln(out, "usage: .cadence <stream> <n>  (n >= 0)")
+			break
+		}
+		if err := p.SetStreamCadence(fields[1], service.Instant(n)); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		if n == 0 {
+			fmt.Fprintf(out, "dead-man detection off for %s\n", fields[1])
+		} else {
+			fmt.Fprintf(out, "%s flagged STALLED after %d silent instant(s)\n", fields[1], n)
+		}
+	case ".poll":
+		if len(fields) != 4 {
+			fmt.Fprintln(out, "usage: .poll <name> <proto> <svcAttr>")
+			break
+		}
+		if _, err := p.AddPollStream(fields[1], fields[2], fields[3], nil, nil); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintf(out, "poll stream %s: every tick, %s on every implementing service\n", fields[1], fields[2])
 	case ".metrics":
 		fmt.Fprint(out, obs.Default.Snapshot().Render())
 	case ".dump":

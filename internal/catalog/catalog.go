@@ -7,6 +7,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"serena/internal/algebra"
@@ -123,6 +124,9 @@ func (c *Catalog) Execute(st ddl.Statement, at service.Instant) error {
 		return nil
 
 	case *ddl.CreateRelation:
+		if strings.HasPrefix(t.Name, "sys$") {
+			return fmt.Errorf("catalog: relation %q: the sys$ prefix is reserved for system relations", t.Name)
+		}
 		sch, err := c.buildSchema(t)
 		if err != nil {
 			return err

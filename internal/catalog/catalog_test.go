@@ -272,3 +272,12 @@ func TestURSAEnforcement(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSysPrefixReservedForRelations(t *testing.T) {
+	reg := service.NewRegistry()
+	c := catalog.New(reg)
+	err := c.ExecuteScript(`EXTENDED RELATION sys$mine ( n INTEGER );`, 0)
+	if err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("creating a sys$ relation must be rejected, got %v", err)
+	}
+}

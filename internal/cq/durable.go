@@ -121,6 +121,9 @@ func (e *Executor) SetDurability(d Durability) {
 		if _, derived := e.queries[name]; derived {
 			continue
 		}
+		if x.Ephemeral() {
+			continue // sys$ telemetry relations are never WAL-logged
+		}
 		d.AttachRelation(x)
 	}
 }
@@ -154,6 +157,11 @@ func (e *Executor) snapshotLocked() CheckpointState {
 	sort.Strings(names)
 	for _, name := range names {
 		x := e.rels[name]
+		if x.Ephemeral() {
+			// sys$ telemetry relations carry no durable state: excluded from
+			// checkpoints, re-seeded by the scraper after recovery.
+			continue
+		}
 		_, derived := e.queries[name]
 		events, current, lastAt := x.StateSnapshot()
 		st.Relations = append(st.Relations, RelationState{

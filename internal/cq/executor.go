@@ -93,6 +93,9 @@ type Executor struct {
 	coalescePassive bool
 	overranLast     bool
 	tickOverruns    int64
+	// telemetry, when enabled, owns the sys$ system relations and the
+	// health scraper source (see telemetry.go).
+	telemetry *Telemetry
 }
 
 // Source is a data producer pumped at the start of every tick, before
@@ -130,7 +133,7 @@ func (e *Executor) AddRelation(x *stream.XDRelation) error {
 		return fmt.Errorf("cq: relation %q already registered", x.Name())
 	}
 	e.rels[x.Name()] = x
-	if e.dur != nil {
+	if e.dur != nil && !x.Ephemeral() {
 		e.dur.AttachRelation(x)
 	}
 	return nil
@@ -212,6 +215,13 @@ type Query struct {
 	actions *query.ActionSet
 	lastRes *algebra.XRelation
 	invErrs []query.InvokeError
+	// invErrTotal counts every invocation failure ever recorded — invErrs
+	// is capped at the last 100, so interval deltas (the health state
+	// machine's DEGRADED signal) need a monotonic counter.
+	invErrTotal int64
+	// lastEvalNS is the wall-clock cost of the query's latest evaluation,
+	// compared against the tick budget by the health state machine.
+	lastEvalNS int64
 
 	// degradation selects the query's β failure policy (guarded by mu;
 	// resilience.Default behaves like SkipTuple here).
@@ -290,10 +300,27 @@ func (q *Query) recordInvokeError(e query.InvokeError) {
 	const keep = 100
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.invErrTotal++
 	q.invErrs = append(q.invErrs, e)
 	if len(q.invErrs) > keep {
 		q.invErrs = q.invErrs[len(q.invErrs)-keep:]
 	}
+}
+
+// InvokeErrorTotal returns the total number of invocation failures recorded
+// since registration (monotonic, unlike the bounded InvokeErrors buffer).
+func (q *Query) InvokeErrorTotal() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.invErrTotal
+}
+
+// LastEvalLatency returns the wall-clock duration of the query's most
+// recent evaluation (0 before the first tick).
+func (q *Query) LastEvalLatency() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return time.Duration(q.lastEvalNS)
 }
 
 // schemaEnv adapts the executor's relations to query.Environment for
@@ -319,6 +346,9 @@ func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
 	defer e.mu.Unlock()
 	if _, dup := e.queries[name]; dup {
 		return nil, fmt.Errorf("cq: query %q already registered", name)
+	}
+	if isSystemName(name) {
+		return nil, fmt.Errorf("cq: query name %q: the sys$ prefix is reserved for system relations", name)
 	}
 	env := schemaEnv{e}
 	outSch, err := plan.ResultSchema(env)
@@ -778,8 +808,16 @@ func (e *Executor) logTickError(tick *trace.Span, at service.Instant, queryName 
 	slog.LogAttrs(context.Background(), slog.LevelError, "cq: tick failed", attrs...)
 }
 
+// LagNeverProduced is the cq.stream.lag gauge sentinel for a stream that
+// has never produced an event. A distinct negative value — rather than the
+// old `at+1` encoding, which after enough ticks is indistinguishable from a
+// genuinely lagging stream — so dashboards and the health state machine can
+// tell "silent since birth" from "went silent".
+const LagNeverProduced int64 = -1
+
 // recordLag publishes, per infinite XD-Relation, how many instants behind
-// the clock its newest event is (0 = produced this instant).
+// the clock its newest event is (0 = produced this instant,
+// LagNeverProduced = never produced anything).
 func (e *Executor) recordLag(at service.Instant) {
 	for name, x := range e.rels {
 		if !x.Infinite() {
@@ -788,7 +826,7 @@ func (e *Executor) recordLag(at service.Instant) {
 		last := x.LastInstant()
 		lag := int64(at - last)
 		if last < 0 {
-			lag = int64(at) + 1 // never produced anything
+			lag = LagNeverProduced
 		}
 		obs.Default.Gauge(obs.Key("cq.stream.lag", name)).Set(lag)
 	}
@@ -844,19 +882,21 @@ func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span, rep
 
 	evalStart := time.Now()
 	var (
-		res                *algebra.XRelation
-		cur                map[string]value.Tuple
-		inserted, deleted  []value.Tuple
-		err                error
+		res               *algebra.XRelation
+		cur               map[string]value.Tuple
+		inserted, deleted []value.Tuple
+		err               error
 	)
 	if useDelta {
 		res, cur, inserted, deleted, err = ev.evalDelta()
 	} else {
 		res, err = ev.eval(q.plan)
 	}
+	evalElapsed := time.Since(evalStart)
 	ctx.PublishObsStats()
 	obsQueryEvals.Inc()
-	obsQueryEvalTime.Observe(time.Since(evalStart))
+	obsQueryEvalTime.Observe(evalElapsed)
+	obs.Default.Gauge(obs.Key("cq.query.eval_ns", q.name)).Set(int64(evalElapsed))
 	if err != nil {
 		qspan.SetAttr("error", err.Error())
 		qspan.Finish()
@@ -871,6 +911,7 @@ func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span, rep
 	qspan.Finish()
 	q.mu.Lock()
 	q.lastRes = res
+	q.lastEvalNS = int64(evalElapsed)
 	q.stats.Active += ctx.Stats.Active
 	q.stats.Passive += ctx.Stats.Passive
 	q.stats.Memoized += ctx.Stats.Memoized

@@ -245,6 +245,10 @@ func isIdentStart(r rune) bool {
 	return r == '_' || unicode.IsLetter(r)
 }
 
+// isIdentPart accepts '$' beyond the usual letter/digit/underscore so the
+// reserved system-relation namespace (sys$metrics, sys$health, sys$streams)
+// lexes as a single identifier across DDL, SAL and SSQL. '$' cannot start
+// an identifier, so ordinary user names are unaffected.
 func isIdentPart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
 }

@@ -132,3 +132,21 @@ func TestUnexpectedCharacter(t *testing.T) {
 		t.Error("unexpected character accepted")
 	}
 }
+
+func TestSystemRelationIdent(t *testing.T) {
+	// The $ joins identifiers (sys$metrics is one token) but cannot start
+	// one — the system namespace is spellable, not arbitrary.
+	toks := lexAll(t, `select[state = "STALLED"](sys$streams)`)
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == Ident && tok.Text == "sys$streams" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sys$streams did not lex as one identifier: %v", toks)
+	}
+	if _, err := New(`$loose`).Next(); err == nil {
+		t.Fatal("identifier starting with $ must not lex")
+	}
+}

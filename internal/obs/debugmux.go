@@ -6,13 +6,17 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
 // DebugMux builds the debug HTTP mux shared by every serena process that
 // exposes an observability endpoint (the PEMS metrics server, pemsd's
 // -debug listener). Routes:
 //
-//	/metrics        JSON snapshot of every counter, gauge, and histogram
+//	/metrics        registry exposition: JSON snapshot by default;
+//	                Prometheus/OpenMetrics text when the request asks for
+//	                it (?format=prometheus, or an Accept header naming
+//	                application/openmetrics-text or text/plain)
 //	/debug/serena   human-readable status written by the status callback
 //	/debug/vars     standard expvar JSON (includes the "serena" variable)
 //	/debug/pprof/*  net/http/pprof profiles (explicitly wired: this is a
@@ -22,7 +26,14 @@ import (
 // status yields a minimal placeholder page.
 func DebugMux(status func(io.Writer), extra map[string]http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsTextExposition(r) {
+			// The version=0.0.4 text format; OpenMetrics scrapers accept it
+			// and it keeps one renderer for both.
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = Default.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -46,4 +57,22 @@ func DebugMux(status func(io.Writer), extra map[string]http.Handler) *http.Serve
 		mux.Handle(path, h)
 	}
 	return mux
+}
+
+// wantsTextExposition decides whether a /metrics request gets the
+// Prometheus text format instead of the default JSON snapshot. Explicit
+// ?format=prometheus (or =openmetrics) always wins; otherwise the Accept
+// header decides — Prometheus sends application/openmetrics-text and/or
+// text/plain. Browsers (Accept: text/html,...) keep getting JSON, as does
+// an absent or wildcard Accept, so existing consumers are unaffected.
+func wantsTextExposition(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "openmetrics":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "text/plain")
 }

@@ -213,14 +213,21 @@ type Metrics struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	// Cardinality guard (see cardinality.go): seriesCount tracks, per base
+	// name, how many keyed series exist across all three kinds; maxSeries
+	// caps it (0 = unlimited).
+	seriesCount map[string]int
+	maxSeries   int
 }
 
-// New returns an empty registry.
+// New returns an empty registry with the default keyed-series cap.
 func New() *Metrics {
 	return &Metrics{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		histograms:  make(map[string]*Histogram),
+		seriesCount: make(map[string]int),
+		maxSeries:   DefaultMaxKeyedSeries,
 	}
 }
 
@@ -244,6 +251,10 @@ func (m *Metrics) Counter(name string) *Counter {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if c = m.counters[name]; c != nil {
+		return c
+	}
+	name = m.admitLocked(name)
 	if c = m.counters[name]; c == nil {
 		c = &Counter{}
 		m.counters[name] = c
@@ -261,6 +272,10 @@ func (m *Metrics) Gauge(name string) *Gauge {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if g = m.gauges[name]; g != nil {
+		return g
+	}
+	name = m.admitLocked(name)
 	if g = m.gauges[name]; g == nil {
 		g = &Gauge{}
 		m.gauges[name] = g
@@ -279,6 +294,10 @@ func (m *Metrics) Histogram(name string) *Histogram {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if h = m.histograms[name]; h != nil {
+		return h
+	}
+	name = m.admitLocked(name)
 	if h = m.histograms[name]; h == nil {
 		h = &Histogram{}
 		m.histograms[name] = h

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"serena/internal/cq"
 	"serena/internal/device"
 	"serena/internal/pems"
 	"serena/internal/service"
@@ -105,6 +106,12 @@ func buildCrashEnv(dir, side string) (*pems.PEMS, wal.Info, error) {
 	if _, err := p.AddFeedStream("news"); err != nil {
 		return nil, wal.Info{}, err
 	}
+	// System relations active during the crash runs: they must never leak
+	// into the WAL or checkpoints, and recovery must replay identically
+	// with the scraper installed.
+	if _, err := p.EnableSelfTelemetry(cq.TelemetryOptions{}); err != nil {
+		return nil, wal.Info{}, err
+	}
 	info, err := p.Recover()
 	if err != nil {
 		return nil, wal.Info{}, err
@@ -145,6 +152,9 @@ func controlEnv(t *testing.T, side string) *pems.PEMS {
 		t.Fatal(err)
 	}
 	if _, err := p.AddFeedStream("news"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.EnableSelfTelemetry(cq.TelemetryOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.ExecuteDDL(crashTablesDDL); err != nil {

@@ -18,8 +18,10 @@ import (
 // "127.0.0.1:0" to pick a free port) and returns the bound address. Routes
 // (the same obs.DebugMux layout pemsd's -debug listener uses):
 //
-//	/metrics        JSON snapshot of every counter, gauge, and histogram
+//	/metrics        registry snapshot: JSON by default, Prometheus text
+//	                with ?format=prometheus or a matching Accept header
 //	/debug/serena   human-readable status: clock, queries, breakers, metrics
+//	/debug/health   JSON health report (per-query states, stream dead-man)
 //	/debug/vars     standard expvar JSON (includes the "serena" variable)
 //	/debug/trace    retained invocation traces as JSON (?trace_id=, ?limit=)
 //	/debug/pprof/*  net/http/pprof profiles
@@ -53,7 +55,8 @@ func (p *PEMS) ServeMetrics(addr string) (string, error) {
 // embedding into an existing HTTP server or an httptest harness.
 func (p *PEMS) DebugHandler() http.Handler {
 	return obs.DebugMux(p.writeStatus, map[string]http.Handler{
-		"/debug/trace": trace.Handler(trace.Default),
+		"/debug/trace":  trace.Handler(trace.Default),
+		"/debug/health": p.healthHandler(),
 	})
 }
 

@@ -51,6 +51,10 @@ type XDRelation struct {
 	// path with a per-relation staging buffer drained once per tick (see
 	// ingest.go). It has its own lock; x.mu only guards the pointer.
 	ingest *ingestState
+	// ephemeral relations (the sys$ self-telemetry feeds) are excluded
+	// from durability: never WAL-attached, never checkpointed, re-seeded
+	// by their source after recovery.
+	ephemeral bool
 }
 
 type entry struct {
@@ -78,6 +82,22 @@ func (x *XDRelation) Infinite() bool { return x.infinite }
 // Name returns the schema's relation symbol.
 func (x *XDRelation) Name() string { return x.sch.Name() }
 
+// MarkEphemeral flags the relation as excluded from durability (WAL and
+// checkpoints). Used by the self-telemetry subsystem for sys$ relations,
+// whose contents are re-seeded from live engine state after recovery.
+func (x *XDRelation) MarkEphemeral() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ephemeral = true
+}
+
+// Ephemeral reports whether the relation is excluded from durability.
+func (x *XDRelation) Ephemeral() bool {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.ephemeral
+}
+
 // LastInstant returns the instant of the latest event, or -1 when empty.
 func (x *XDRelation) LastInstant() service.Instant {
 	x.mu.RLock()
@@ -100,11 +120,17 @@ func (x *XDRelation) Insert(at service.Instant, t value.Tuple) error {
 	x.lastAt = at
 	ev := Event{At: at, Kind: Insert, Tuple: c}
 	x.events = append(x.events, ev)
-	k := c.Key()
-	if e, ok := x.current[k]; ok {
-		e.count++
-	} else {
-		x.current[k] = &entry{tuple: c, count: 1}
+	// Ephemeral streams (the sys$ telemetry relations) skip the current
+	// multiset: it would grow one entry per appended row forever, and
+	// nothing reads Current() on a stream — evaluation goes through the
+	// event log, and checkpoints skip ephemeral relations entirely.
+	if !(x.infinite && x.ephemeral) {
+		k := c.Key()
+		if e, ok := x.current[k]; ok {
+			e.count++
+		} else {
+			x.current[k] = &entry{tuple: c, count: 1}
+		}
 	}
 	if x.onEvent != nil {
 		x.onEvent(ev)
@@ -274,9 +300,20 @@ func (x *XDRelation) TrimBefore(before service.Instant) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	i := sort.Search(len(x.events), func(i int) bool { return x.events[i].At >= before })
-	if i > 0 {
-		x.events = append([]Event(nil), x.events[i:]...)
+	if i == 0 {
+		return
 	}
+	if 2*i >= len(x.events) {
+		// Dropping at least half: compact into a fresh array so the dead
+		// prefix is released to the collector.
+		x.events = append([]Event(nil), x.events[i:]...)
+		return
+	}
+	// Small trim (the steady per-tick case): advance the slice in O(1).
+	// The dead prefix stays referenced until the next compaction or until
+	// append outgrows the backing array, which copies only the live tail —
+	// amortized O(1) per event instead of a full copy per tick.
+	x.events = x.events[i:]
 }
 
 // EventCount returns the number of retained events.

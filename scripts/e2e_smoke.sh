@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# e2e_smoke.sh — end-to-end dead-man smoke test.
+#
+# Boots a pemsd node hosting sensors and a serena core attached to it,
+# registers a dead-man continuous query over the sys$streams system
+# relation plus a meter query over sys$metrics, then SIGKILLs the pemsd
+# node and asserts that:
+#
+#   1. the dead-man query emits the ("temperatures", "STALLED") tuple,
+#   2. /debug/health reports the stream transition to STALLED,
+#   3. /metrics?format=prometheus serves the text exposition.
+#
+# Requires only bash, curl and the go toolchain. Exits non-zero with a
+# log dump on any failed assertion.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+PEMSD_PID=""
+SERENA_PID=""
+cleanup() {
+	[ -n "$SERENA_PID" ] && kill "$SERENA_PID" 2>/dev/null || true
+	[ -n "$PEMSD_PID" ] && kill -9 "$PEMSD_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "e2e: FAIL: $*" >&2
+	echo "---- pemsd log ----" >&2
+	cat "$WORK/pemsd.log" >&2 || true
+	echo "---- serena log ----" >&2
+	cat "$WORK/serena.log" >&2 || true
+	exit 1
+}
+
+# wait_for <file> <pattern> [timeout-seconds]
+wait_for() {
+	local file="$1" pattern="$2" timeout="${3:-30}" i=0
+	while ! grep -q "$pattern" "$file" 2>/dev/null; do
+		i=$((i + 1))
+		[ "$i" -ge $((timeout * 10)) ] && fail "timed out waiting for '$pattern' in $file"
+		sleep 0.1
+	done
+}
+
+echo "e2e: building serena and pemsd"
+go build -o "$WORK/serena" ./cmd/serena
+go build -o "$WORK/pemsd" ./cmd/pemsd
+
+echo "e2e: starting pemsd"
+"$WORK/pemsd" -node sensors -listen 127.0.0.1:0 -sensors 2 -cameras 0 \
+	>"$WORK/pemsd.log" 2>&1 &
+PEMSD_PID=$!
+wait_for "$WORK/pemsd.log" "serena -connect"
+PEMSD_ADDR="$(sed -n 's/.*serena -connect \([0-9.:]*\).*/\1/p' "$WORK/pemsd.log" | head -1)"
+[ -n "$PEMSD_ADDR" ] || fail "could not parse pemsd address"
+echo "e2e: pemsd on $PEMSD_ADDR (pid $PEMSD_PID)"
+
+# serena reads its script from a FIFO so the test can interleave shell
+# commands with the SIGKILL of the remote node.
+mkfifo "$WORK/stdin"
+"$WORK/serena" -connect "$PEMSD_ADDR" -metrics 127.0.0.1:0 -invoke-timeout 2s \
+	<"$WORK/stdin" >"$WORK/serena.log" 2>&1 &
+SERENA_PID=$!
+exec 3>"$WORK/stdin"
+
+wait_for "$WORK/serena.log" "metrics on http://"
+METRICS_ADDR="$(sed -n 's|.*metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$WORK/serena.log" | head -1)"
+[ -n "$METRICS_ADDR" ] || fail "could not parse serena metrics address"
+echo "e2e: serena up, metrics on $METRICS_ADDR"
+
+# Phase 1: feed alive. Poll the remote sensors every tick, arm the
+# dead-man (cadence 2), register the health queries, run a few ticks.
+cat >&3 <<'EOF'
+.poll temperatures getTemperature sensor
+.cadence temperatures 2
+.register deadman stream[insertion](select[state = "STALLED"](sys$streams))
+.register meter select[metric = "cq.ticks"](window[8](sys$metrics))
+.tick 3
+.show deadman
+.health
+EOF
+wait_for "$WORK/serena.log" 'registered "deadman"'
+wait_for "$WORK/serena.log" 'registered "meter"'
+wait_for "$WORK/serena.log" "health @ instant 2"
+# The .register echo quotes the plan (which mentions "STALLED"), so the
+# negative assertion anchors on the .health table line format.
+if grep -Eq '^  temperatures +STALLED' "$WORK/serena.log"; then
+	fail "stream flagged STALLED while the feed was still alive"
+fi
+grep -Eq '^  temperatures +OK' "$WORK/serena.log" ||
+	fail "healthy temperatures stream not reported OK"
+echo "e2e: feed alive, stream healthy after 3 ticks"
+
+# Phase 2: kill the feed hard and keep ticking. With cadence 2 the
+# scraper must flag the silence and the dead-man query must fire.
+kill -9 "$PEMSD_PID"
+wait "$PEMSD_PID" 2>/dev/null || true
+echo "e2e: pemsd killed (SIGKILL)"
+cat >&3 <<'EOF'
+.tick 4
+.show deadman
+.health
+EOF
+wait_for "$WORK/serena.log" "health @ instant 6" 60
+# .show deadman prints the query output as a table: a row pairing the
+# stream name with the STALLED state is the CQ having fired.
+grep -Eq '^\| *"?temperatures"? *\| *"?STALLED' "$WORK/serena.log" ||
+	fail "dead-man query never emitted the (temperatures, STALLED) tuple"
+grep -Eq '^  temperatures +STALLED' "$WORK/serena.log" ||
+	fail ".health does not report the stream as STALLED"
+echo "e2e: dead-man query fired after the feed died"
+
+# Phase 3: the HTTP surfaces agree.
+HEALTH_JSON="$(curl -sf "http://$METRICS_ADDR/debug/health")" ||
+	fail "/debug/health unreachable"
+echo "$HEALTH_JSON" | grep -q '"temperatures"' ||
+	fail "/debug/health missing the temperatures stream: $HEALTH_JSON"
+echo "$HEALTH_JSON" | grep -q 'STALLED' ||
+	fail "/debug/health does not report the stall: $HEALTH_JSON"
+EXPO="$(curl -sf "http://$METRICS_ADDR/metrics?format=prometheus")" ||
+	fail "/metrics exposition unreachable"
+echo "$EXPO" | grep -q '^serena_cq_ticks_total ' ||
+	fail "prometheus exposition missing serena_cq_ticks_total"
+echo "$EXPO" | grep -q '^# TYPE serena_cq_tick_latency histogram' ||
+	fail "prometheus exposition missing the tick latency histogram"
+echo "e2e: /debug/health and /metrics agree"
+
+echo ".quit" >&3
+exec 3>&-
+wait "$SERENA_PID" || fail "serena exited non-zero"
+SERENA_PID=""
+echo "e2e: PASS"
