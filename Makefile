@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-check soak e2e experiments fuzz examples fmt vet check clean
+.PHONY: all build test race cover bench bench-check soak e2e chaos experiments fuzz examples fmt vet check clean
 
 all: build vet test
 
@@ -58,6 +58,14 @@ soak:
 # plus the /debug/health and /metrics surfaces (see scripts/e2e_smoke.sh).
 e2e:
 	bash scripts/e2e_smoke.sh
+
+# Federated node-loss chaos: a 3-node pemsd cluster (two peers replicating
+# the same service references, one coordinator), SIGKILL a random peer
+# mid-query and assert masking — victim down within a lease, ticks keep
+# flowing, deliveries identical to a never-crashed control run
+# (see scripts/cluster_chaos.sh; CHAOS_ITERS bounds the kill loop).
+chaos:
+	bash scripts/cluster_chaos.sh
 
 # Regenerate the EXPERIMENTS.md tables.
 experiments:

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,10 +40,12 @@ import (
 
 	"serena/internal/cq"
 	"serena/internal/device"
+	"serena/internal/discovery"
 	"serena/internal/obs"
 	"serena/internal/pems"
 	"serena/internal/service"
 	"serena/internal/trace"
+	"serena/internal/value"
 	"serena/internal/wal"
 	"serena/internal/wire"
 )
@@ -66,6 +69,11 @@ func main() {
 	tick := flag.Duration("tick", time.Second, "continuous clock interval of the embedded core (with -data-dir)")
 	initScript := flag.String("init", "", "DDL script executed once, on a fresh data dir (with -data-dir)")
 	telemetry := flag.Bool("telemetry", true, "feed the embedded core's sys$ system relations and health states (with -data-dir)")
+	poll := flag.String("poll", "", "comma-separated name=prototype pairs: poll streams over passive input-free prototypes (with -data-dir)")
+	join := flag.String("join", "", "comma-separated wire addresses of peer pemsd nodes to federate with")
+	lease := flag.Duration("lease", 30*time.Second, "discovery lease: peers silent this long are masked out (heartbeats go every lease/4)")
+	svcPrefix := flag.String("svc-prefix", "", "service reference prefix for hosted devices (default: the node name; set equal on two nodes to replicate references)")
+	outbox := flag.String("outbox", "", "append every accepted messenger delivery to this file (the chaos harness's side-effect record)")
 	verbose := flag.Bool("v", false, "debug-level logging")
 	flag.Parse()
 
@@ -76,12 +84,20 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
+	// The federation bus: wire v4 announce frames between pemsd peers. It is
+	// always constructed (cheap and silent without peers) so any node can be
+	// joined by others; outbound links come from -join and from relayed
+	// Alive frames.
+	bus := discovery.NewWireBus(*node, discovery.WithBusLease(*lease))
+
 	var core *pems.PEMS
 	reg := service.NewRegistry()
 	if *dataDir != "" {
 		// The embedded core shares one registry with the wire server, so
 		// hosted devices are both remotely invocable and locally queryable.
-		core = pems.New()
+		// The discovery manager turns peer announcements into provider
+		// registrations in that same registry.
+		core = pems.New(pems.WithDiscovery(bus, discovery.WithLease(*lease)))
 		reg = core.Registry()
 	}
 	for _, p := range device.ScenarioPrototypes() {
@@ -89,9 +105,13 @@ func main() {
 			fatal(logger, err)
 		}
 	}
+	prefix := *svcPrefix
+	if prefix == "" {
+		prefix = *node
+	}
 	hosted := 0
 	for i := 0; i < *sensors; i++ {
-		ref := fmt.Sprintf("%s-sensor%02d", *node, i)
+		ref := fmt.Sprintf("%s-sensor%02d", prefix, i)
 		s := device.NewSensor(ref, *location, *base, device.WithDailyCycle(3, 1440), device.WithNoise(0.2))
 		if err := reg.Register(s); err != nil {
 			fatal(logger, err)
@@ -99,7 +119,7 @@ func main() {
 		hosted++
 	}
 	for i := 0; i < *cameras; i++ {
-		ref := fmt.Sprintf("%s-camera%02d", *node, i)
+		ref := fmt.Sprintf("%s-camera%02d", prefix, i)
 		if err := reg.Register(device.NewCamera(ref, *location, 7, 0.2)); err != nil {
 			fatal(logger, err)
 		}
@@ -111,7 +131,11 @@ func main() {
 			if ref == "" {
 				continue
 			}
-			if err := reg.Register(device.NewMessenger(ref, ref)); err != nil {
+			m := device.NewMessenger(ref, ref)
+			if *outbox != "" {
+				m.SetOutboxFile(*outbox)
+			}
+			if err := reg.Register(m); err != nil {
 				fatal(logger, err)
 			}
 			hosted++
@@ -121,9 +145,10 @@ func main() {
 		logger.Error("pemsd: nothing to host; pass -sensors, -cameras or -messengers")
 		os.Exit(1)
 	}
+	bus.SetCatalogFromRegistry(reg)
 
 	if core != nil {
-		if err := startCore(logger, core, *dataDir, *fsyncPolicy, *ckptEvery, *tick, *initScript, *telemetry); err != nil {
+		if err := startCore(logger, core, *dataDir, *fsyncPolicy, *ckptEvery, *tick, *initScript, *telemetry, *poll); err != nil {
 			fatal(logger, err)
 		}
 	}
@@ -133,10 +158,24 @@ func main() {
 	srv.SetMaxInFlight(*maxInFlight)
 	srv.SetReadTimeout(*readTimeout)
 	srv.SetWriteTimeout(*writeTimeout)
+	bus.Serve(srv)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fatal(logger, err)
 	}
+	bus.SetAdvertiseAddr(addr)
+	if *join != "" {
+		var peers []string
+		for _, a := range strings.Split(*join, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				peers = append(peers, a)
+			}
+		}
+		bus.Join(peers...)
+		logger.Info("pemsd: federating", "join", peers, "lease", *lease)
+	}
+	bus.Start()
+	bus.AnnounceSelfNow()
 	logger.Info("pemsd: serving", "node", *node, "services", hosted, "addr", addr)
 	fmt.Printf("pemsd: node %q serving %d service(s) on %s\n", *node, hosted, addr)
 	fmt.Printf("pemsd: connect from the core with: serena -connect %s\n", addr)
@@ -153,22 +192,38 @@ func main() {
 				enc.SetIndent("", "  ")
 				_ = enc.Encode(c.HealthReport())
 			})
+			extra["/debug/peers"] = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(c.PeersReport())
+			})
 		}
 		mux := obs.DebugMux(func(w io.Writer) { writeStatus(w, *node, addr, reg) }, extra)
-		hsrv := &http.Server{Addr: *debugAddr, Handler: mux}
+		// Listen before serving so ":0" resolves to the real port in the
+		// printed URL — harnesses parse it to find /debug/peers.
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(logger, err)
+		}
+		hsrv := &http.Server{Handler: mux}
 		go func() {
-			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := hsrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				logger.Error("pemsd: debug endpoint failed", "err", err.Error())
 			}
 		}()
-		logger.Info("pemsd: observability endpoint", "addr", *debugAddr)
-		fmt.Printf("pemsd: observability on http://%s/debug/serena\n", *debugAddr)
+		logger.Info("pemsd: observability endpoint", "addr", ln.Addr().String())
+		fmt.Printf("pemsd: observability on http://%s/debug/serena\n", ln.Addr().String())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	logger.Info("pemsd: shutting down")
+	// Graceful drain announces a Bye FIRST: peers mask this node (and fail
+	// its references over to surviving replicas) before we stop answering,
+	// instead of waiting out the lease.
+	bus.Announce(discovery.Announcement{Kind: discovery.Bye, Node: *node, Addr: addr})
 	if core != nil {
 		// Close stops the ticker — waiting out the in-flight tick and its β
 		// invocations (bounded by the configured invocation deadline) — then
@@ -177,13 +232,14 @@ func main() {
 		core.Close()
 		logger.Info("pemsd: final checkpoint written", "dir", *dataDir)
 	}
+	bus.Stop()
 	_ = srv.Close()
 }
 
 // startCore enables durability on the embedded PEMS, recovers the
 // environment from the data directory, runs the init script on a fresh
 // directory, and starts the real-time clock.
-func startCore(logger *slog.Logger, core *pems.PEMS, dataDir, fsyncPolicy string, ckptEvery int, tick time.Duration, initScript string, telemetry bool) error {
+func startCore(logger *slog.Logger, core *pems.PEMS, dataDir, fsyncPolicy string, ckptEvery int, tick time.Duration, initScript string, telemetry bool, poll string) error {
 	pol, err := wal.ParseSyncPolicy(fsyncPolicy)
 	if err != nil {
 		return err
@@ -191,11 +247,28 @@ func startCore(logger *slog.Logger, core *pems.PEMS, dataDir, fsyncPolicy string
 	if err := core.EnableDurability(dataDir, wal.Options{Fsync: pol, CheckpointEvery: ckptEvery}); err != nil {
 		return err
 	}
-	// Before Recover: WAL-logged queries over sys$ relations need the
-	// relations to exist to re-register.
+	// Before Recover: WAL-logged queries over sys$ relations or poll
+	// streams need those relations to exist to re-register.
 	if telemetry {
 		if _, err := core.EnableSelfTelemetry(cq.TelemetryOptions{}); err != nil {
 			return err
+		}
+	}
+	if poll != "" {
+		for _, spec := range strings.Split(poll, ",") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			name, protoName, ok := strings.Cut(spec, "=")
+			if !ok {
+				return fmt.Errorf("pemsd: -poll %q: want name=prototype", spec)
+			}
+			if _, err := core.AddPollStream(name, protoName, "service", nil,
+				func(string) []value.Value { return nil }); err != nil {
+				return fmt.Errorf("pemsd: -poll %s: %w", spec, err)
+			}
+			logger.Info("pemsd: poll stream", "stream", name, "prototype", protoName)
 		}
 	}
 	info, err := core.Recover()

@@ -434,6 +434,7 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
   .sample <n>                     trace one in n ticks/evaluations (0 = off)
   .overload                       show tick budget, admission and ingest-buffer posture
   .health                         show per-query health states and stream dead-man posture
+  .peers                          show federation membership, lease ages and node breakers
   .cadence <stream> <n>           dead-man: flag <stream> STALLED after n silent instants (0 = off)
   .poll <name> <proto> <svcAttr>  create a poll stream over a passive input-free prototype
   .metrics                        dump the process-wide metrics registry
@@ -730,6 +731,8 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
 		fmt.Fprint(out, p.OverloadReport())
 	case ".health":
 		fmt.Fprint(out, p.HealthReportText())
+	case ".peers":
+		fmt.Fprint(out, p.PeersReportText())
 	case ".cadence":
 		if len(fields) != 3 {
 			fmt.Fprintln(out, "usage: .cadence <stream> <n>  (0 turns the dead-man off)")

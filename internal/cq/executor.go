@@ -10,6 +10,7 @@ package cq
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -1347,8 +1348,14 @@ func (ev *evaluator) invokePhysical(node *query.Invoke, bp schema.BindingPattern
 		}
 	}
 	skipped := new(bool)
-	rows, err = ev.ctx.InvokeTracked(bp, ref, input, skipped)
-	if logActive {
+	var physErr error
+	rows, err = ev.ctx.InvokeObserved(bp, ref, input, skipped, &physErr)
+	// Federation (Definition 8): an active request whose outcome is unknown
+	// — sent to a peer, answer lost — may have fired. It must never be
+	// re-sent (the transport already refused to), never re-fired at a
+	// replica, and never retried at the next instant.
+	outcomeUnknown := bp.Active() && physErr != nil && errors.Is(physErr, resilience.ErrOutcomeUnknown)
+	if logActive && !outcomeUnknown {
 		ok := err == nil && !*skipped
 		var res []value.Tuple
 		if ok {
@@ -1358,8 +1365,18 @@ func (ev *evaluator) invokePhysical(node *query.Invoke, bp schema.BindingPattern
 		// on recovery — the safe direction (attempted, never re-fired).
 		_ = ev.exec.dur.ActiveResult(ev.q.name, nodeIdx, bp.ID(), ref, input, ev.at, ok, res)
 	}
+	// outcomeUnknown intentionally skips ActiveResult: the intent stays an
+	// ORPHAN in the WAL, so recovery replays it as attempted-never-refire
+	// (SeedActive pins it) — the durable form of the live pin below.
 	if err != nil {
 		return nil, false, err
+	}
+	if outcomeUnknown {
+		// Live pin: cache the stand-in rows (nothing for SkipTuple, an
+		// all-NULL fill for NullFill) so the persisting tuple does NOT
+		// re-invoke next instant. This is the one absorbed failure that must
+		// not retry — a retry could duplicate the action on the environment.
+		return rows, true, nil
 	}
 	// A skipped invocation was absorbed by the degradation policy: its
 	// stand-in rows pass through (nothing for SkipTuple, an all-NULL fill

@@ -52,6 +52,7 @@ const (
 	SysMetrics = "sys$metrics"
 	SysHealth  = "sys$health"
 	SysStreams = "sys$streams"
+	SysPeers   = "sys$peers"
 
 	sysPrefix = "sys$"
 )
@@ -127,6 +128,7 @@ type Telemetry struct {
 	metricsRel *stream.XDRelation
 	healthRel  *stream.XDRelation
 	streamsRel *stream.XDRelation
+	peersRel   *stream.XDRelation
 
 	// mu guards the scrape state below against Health()/SetStreamCadence
 	// callers; the scrape itself runs inside the tick (tickMu held).
@@ -137,6 +139,12 @@ type Telemetry struct {
 	qprev      map[string]queryPrev
 	cadence    map[string]service.Instant
 	lastScrape service.Instant
+
+	// Federation membership feed (nil when the deployment has no peers):
+	// peerSource snapshots the discovery manager's view, peerRows holds the
+	// last tuple written per node for edge-triggered reconciliation.
+	peerSource func() []PeerReport
+	peerRows   map[string]value.Tuple
 
 	// Sorted registry names, cached across scrapes: the registry only ever
 	// grows, so the lists are rebuilt only when a new metric appears
@@ -180,6 +188,7 @@ func (e *Executor) EnableSelfTelemetry(opts TelemetryOptions) (*Telemetry, error
 		streams:  map[string]*StreamHealth{},
 		qprev:    map[string]queryPrev{},
 		cadence:  map[string]service.Instant{},
+		peerRows: map[string]value.Tuple{},
 	}
 	t.metricsRel = stream.NewInfinite(schema.MustExtended(SysMetrics, []schema.ExtAttr{
 		{Attribute: schema.Attribute{Name: "metric", Type: value.String}},
@@ -195,7 +204,13 @@ func (e *Executor) EnableSelfTelemetry(opts TelemetryOptions) (*Telemetry, error
 		{Attribute: schema.Attribute{Name: "stream", Type: value.String}},
 		{Attribute: schema.Attribute{Name: "state", Type: value.String}},
 	}, nil))
-	for _, x := range []*stream.XDRelation{t.metricsRel, t.healthRel, t.streamsRel} {
+	t.peersRel = stream.NewFinite(schema.MustExtended(SysPeers, []schema.ExtAttr{
+		{Attribute: schema.Attribute{Name: "node", Type: value.String}},
+		{Attribute: schema.Attribute{Name: "state", Type: value.String}},
+		{Attribute: schema.Attribute{Name: "lease", Type: value.Int}},
+		{Attribute: schema.Attribute{Name: "services", Type: value.Int}},
+	}, nil))
+	for _, x := range []*stream.XDRelation{t.metricsRel, t.healthRel, t.streamsRel, t.peersRel} {
 		x.MarkEphemeral()
 		if err := e.AddRelation(x); err != nil {
 			return nil, err
@@ -234,6 +249,27 @@ func (t *Telemetry) SetStreamCadence(name string, cadence service.Instant) {
 	t.cadence[name] = cadence
 }
 
+// PeerReport is one federation peer's membership row, as fed to sys$peers.
+// Lease is the CONFIGURED lease in milliseconds (static per deployment, so
+// the tuple only changes on real membership transitions and the relation
+// stays edge-triggered), not the remaining time.
+type PeerReport struct {
+	Node     string
+	State    string // "alive" or "down"
+	Lease    int64  // configured lease, milliseconds
+	Services int    // services the peer currently provides
+}
+
+// SetPeerSource installs the membership snapshot function behind sys$peers
+// (typically the discovery manager's Peers view, adapted by the PEMS
+// facade; the indirection keeps cq independent of the discovery package).
+// nil removes the feed and retracts all peer tuples at the next scrape.
+func (t *Telemetry) SetPeerSource(fn func() []PeerReport) {
+	t.mu.Lock()
+	t.peerSource = fn
+	t.mu.Unlock()
+}
+
 // MetricsRelation returns sys$metrics.
 func (t *Telemetry) MetricsRelation() *stream.XDRelation { return t.metricsRel }
 
@@ -242,6 +278,9 @@ func (t *Telemetry) HealthRelation() *stream.XDRelation { return t.healthRel }
 
 // StreamsRelation returns sys$streams.
 func (t *Telemetry) StreamsRelation() *stream.XDRelation { return t.streamsRel }
+
+// PeersRelation returns sys$peers.
+func (t *Telemetry) PeersRelation() *stream.XDRelation { return t.peersRel }
 
 // HealthSnapshot is a point-in-time copy of every health assessment.
 type HealthSnapshot struct {
@@ -298,7 +337,56 @@ func (t *Telemetry) scrape(at service.Instant) error {
 	if err := t.scrapeQueries(at, order, qs, rels, budget); err != nil {
 		return err
 	}
-	return t.scrapeStreams(at, rels)
+	if err := t.scrapeStreams(at, rels); err != nil {
+		return err
+	}
+	return t.scrapePeers(at)
+}
+
+// scrapePeers reconciles sys$peers against the membership snapshot,
+// edge-triggered like the other finite system relations: one tuple per
+// peer, rewritten only when the peer's (state, lease, services) changes,
+// retracted when the peer is forgotten (or the source is removed).
+func (t *Telemetry) scrapePeers(at service.Instant) error {
+	var reports []PeerReport
+	if t.peerSource != nil {
+		reports = t.peerSource()
+	}
+	seen := make(map[string]bool, len(reports))
+	for _, pr := range reports {
+		if pr.Node == "" || seen[pr.Node] {
+			continue
+		}
+		seen[pr.Node] = true
+		row := value.Tuple{
+			value.NewString(pr.Node), value.NewString(pr.State),
+			value.NewInt(pr.Lease), value.NewInt(int64(pr.Services)),
+		}
+		old, ok := t.peerRows[pr.Node]
+		if ok && old.Equal(row) {
+			continue
+		}
+		if ok {
+			if err := t.peersRel.Delete(at, old); err != nil {
+				return err
+			}
+		}
+		if err := t.peersRel.Insert(at, row); err != nil {
+			return err
+		}
+		t.peerRows[pr.Node] = row
+		obs.Default.Counter("cq.health.transitions").Inc()
+	}
+	for node, old := range t.peerRows {
+		if seen[node] {
+			continue
+		}
+		if err := t.peersRel.Delete(at, old); err != nil {
+			return err
+		}
+		delete(t.peerRows, node)
+	}
+	return nil
 }
 
 // scrapeMetrics turns the registry snapshot into sys$metrics rows with

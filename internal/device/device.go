@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"os"
 	"sync"
 	"time"
 
@@ -328,11 +329,12 @@ type Messenger struct {
 	ref  string
 	kind string
 
-	mu       sync.Mutex
-	outbox   []Delivery
-	failAddr map[string]bool
-	errAddr  map[string]bool
-	latency  time.Duration
+	mu         sync.Mutex
+	outbox     []Delivery
+	outboxFile string
+	failAddr   map[string]bool
+	errAddr    map[string]bool
+	latency    time.Duration
 }
 
 // NewMessenger builds a messenger gateway of the given kind
@@ -375,6 +377,18 @@ func (m *Messenger) SetLatency(d time.Duration) {
 	m.latency = d
 }
 
+// SetOutboxFile mirrors every accepted delivery as one appended line
+// ("instant<TAB>address<TAB>text") in the given file. The cluster chaos
+// harness uses it to diff the physical side effects of active invocations
+// across process kills — the file survives a SIGKILL, the in-memory outbox
+// does not. Append errors are ignored (the in-memory record stays
+// authoritative for in-process tests).
+func (m *Messenger) SetOutboxFile(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.outboxFile = path
+}
+
 // Outbox returns a copy of all accepted deliveries.
 func (m *Messenger) Outbox() []Delivery {
 	m.mu.Lock()
@@ -408,6 +422,17 @@ func (m *Messenger) Invoke(proto string, input value.Tuple, at service.Instant) 
 		return []value.Tuple{{value.NewBool(false)}}, nil
 	}
 	m.outbox = append(m.outbox, Delivery{At: at, Address: address, Text: text})
+	file := m.outboxFile
+	if file != "" {
+		// Append-then-sync inside the lock: the chaos harness reads this
+		// file after a SIGKILL, so a delivery must be durable the moment the
+		// invocation returns (the same reasoning as the WAL's intent fsync).
+		if f, err := os.OpenFile(file, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+			fmt.Fprintf(f, "%d\t%s\t%s\n", at, address, text)
+			_ = f.Sync()
+			_ = f.Close()
+		}
+	}
 	m.mu.Unlock()
 	if latency > 0 {
 		time.Sleep(latency)

@@ -10,6 +10,7 @@ package discovery
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -31,11 +32,15 @@ const (
 	Bye
 )
 
-// Announcement is one presence message from a Local ERM.
+// Announcement is one presence message from a Local ERM. Services
+// optionally carries the announcing node's hosted service catalog, so a
+// relayed announcement (the wire-backed bus forwards frames between pemsd
+// peers) describes the node without every listener dialing it.
 type Announcement struct {
-	Kind Kind
-	Node string
-	Addr string // TCP address of the node's wire server
+	Kind     Kind
+	Node     string
+	Addr     string // TCP address of the node's wire server
+	Services []wire.ServiceInfo
 }
 
 // Bus transports announcements between Local ERMs and core ERMs. The
@@ -155,6 +160,7 @@ type Manager struct {
 
 	mu     sync.Mutex
 	nodes  map[string]*nodeState // by node name
+	downs  map[string]*peerDown  // tombstones of departed nodes, by name
 	cancel func()
 	wg     sync.WaitGroup
 	donec  chan struct{}
@@ -165,6 +171,34 @@ type nodeState struct {
 	client   *wire.Client
 	refs     []string
 	deadline time.Time
+	since    time.Time
+}
+
+// peerDown is the tombstone of a departed node, kept for operational
+// visibility (sys$peers, .peers, /debug/peers) and cleared when the node
+// re-announces.
+type peerDown struct {
+	addr   string
+	reason string // "bye" or "lease_expired"
+	since  time.Time
+}
+
+// Peer states reported by Manager.Peers.
+const (
+	PeerAlive = "alive"
+	PeerDown  = "down"
+)
+
+// PeerInfo is one row of the manager's membership view.
+type PeerInfo struct {
+	Node     string
+	Addr     string
+	State    string // PeerAlive or PeerDown
+	Lease    time.Duration
+	Deadline time.Time // lease deadline (alive peers)
+	Services int       // services this peer currently provides centrally
+	Reason   string    // why a down peer left ("bye", "lease_expired")
+	Since    time.Time // when the peer entered its current state
 }
 
 // Option configures a Manager.
@@ -190,6 +224,7 @@ func NewManager(central *service.Registry, bus Bus, opts ...Option) *Manager {
 		timeout: 2 * time.Second,
 		lease:   30 * time.Second,
 		nodes:   make(map[string]*nodeState),
+		downs:   make(map[string]*peerDown),
 		donec:   make(chan struct{}),
 	}
 	for _, o := range opts {
@@ -220,7 +255,7 @@ func (m *Manager) Start() {
 					continue
 				}
 			case Bye:
-				m.removeNode(a.Node)
+				m.removeNode(a.Node, "bye")
 			}
 		}
 	}()
@@ -272,11 +307,15 @@ func (m *Manager) Stop() {
 	}
 	m.mu.Unlock()
 	for _, n := range names {
-		m.removeNode(n)
+		m.removeNode(n, "")
 	}
 }
 
-// handleAlive dials and (re-)registers a node's services.
+// handleAlive dials and (re-)registers a node's services. Services are
+// registered as PROVIDERS keyed by the node name: a reference replicated on
+// several nodes stays ONE service to discovery (rendezvous hashing picks
+// the routing owner), and losing one replica raises no Removed event — the
+// node-loss masking at the heart of federation.
 func (m *Manager) handleAlive(a Announcement) error {
 	m.mu.Lock()
 	st, known := m.nodes[a.Node]
@@ -287,7 +326,7 @@ func (m *Manager) handleAlive(a Announcement) error {
 	}
 	m.mu.Unlock()
 	if known {
-		m.removeNode(a.Node) // node moved address
+		m.removeNode(a.Node, "") // node moved address
 	}
 	client, err := wire.Dial(a.Addr, m.timeout)
 	if err != nil {
@@ -302,33 +341,40 @@ func (m *Manager) handleAlive(a Announcement) error {
 		_ = client.Close()
 		return fmt.Errorf("discovery: node %q announced as %q", node, a.Node)
 	}
-	st = &nodeState{addr: a.Addr, client: client, deadline: time.Now().Add(m.lease)}
+	now := time.Now()
+	st = &nodeState{addr: a.Addr, client: client, deadline: now.Add(m.lease), since: now}
 	for _, info := range infos {
 		proxy := wire.NewRemote(client, info)
-		if err := m.central.Register(proxy); err != nil {
-			continue // ref collision with a local/previous service: skip
+		if err := m.central.RegisterProvider(a.Node, proxy); err != nil {
+			continue // ref collision with a provider-less local service: skip
 		}
 		st.refs = append(st.refs, info.Ref)
 	}
 	m.mu.Lock()
 	m.nodes[a.Node] = st
+	delete(m.downs, a.Node) // a returning node clears its tombstone
 	m.mu.Unlock()
 	return nil
 }
 
-// removeNode unregisters a node's services and closes its client.
-func (m *Manager) removeNode(name string) {
+// removeNode unregisters a node's providers and closes its client. A
+// non-empty reason leaves a tombstone for the membership view (sys$peers
+// and friends); address moves and manager shutdown pass "".
+func (m *Manager) removeNode(name, reason string) {
 	m.mu.Lock()
 	st, ok := m.nodes[name]
 	if ok {
 		delete(m.nodes, name)
+		if reason != "" {
+			m.downs[name] = &peerDown{addr: st.addr, reason: reason, since: time.Now()}
+		}
 	}
 	m.mu.Unlock()
 	if !ok {
 		return
 	}
 	for _, ref := range st.refs {
-		_ = m.central.Unregister(ref)
+		_ = m.central.UnregisterProvider(name, ref)
 	}
 	_ = st.client.Close()
 }
@@ -357,7 +403,7 @@ func (m *Manager) Refresh(nodeName string) error {
 			continue
 		}
 		proxy := wire.NewRemote(st.client, info)
-		if err := m.central.Register(proxy); err != nil {
+		if err := m.central.RegisterProvider(nodeName, proxy); err != nil {
 			continue
 		}
 		m.mu.Lock()
@@ -383,7 +429,7 @@ func (m *Manager) SweepExpired(now time.Time) []string {
 	m.mu.Unlock()
 	for _, name := range expired {
 		obsLeaseExpired.Inc()
-		m.removeNode(name)
+		m.removeNode(name, "lease_expired")
 	}
 	return expired
 }
@@ -396,5 +442,37 @@ func (m *Manager) Nodes() []string {
 	for name := range m.nodes {
 		out = append(out, name)
 	}
+	return out
+}
+
+// Peers snapshots the manager's membership view — alive nodes plus the
+// tombstones of departed ones — sorted by node name. It backs the sys$peers
+// system relation, serena's .peers command and pemsd's /debug/peers.
+func (m *Manager) Peers() []PeerInfo {
+	m.mu.Lock()
+	out := make([]PeerInfo, 0, len(m.nodes)+len(m.downs))
+	for name, st := range m.nodes {
+		out = append(out, PeerInfo{
+			Node:     name,
+			Addr:     st.addr,
+			State:    PeerAlive,
+			Lease:    m.lease,
+			Deadline: st.deadline,
+			Services: len(st.refs),
+			Since:    st.since,
+		})
+	}
+	for name, d := range m.downs {
+		out = append(out, PeerInfo{
+			Node:   name,
+			Addr:   d.addr,
+			State:  PeerDown,
+			Lease:  m.lease,
+			Reason: d.reason,
+			Since:  d.since,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
 }

@@ -16,7 +16,13 @@ import (
 // environment call it after EnableDurability and before Recover, so
 // WAL-logged queries over the sys$ relations can re-register.
 func (p *PEMS) EnableSelfTelemetry(opts cq.TelemetryOptions) (*cq.Telemetry, error) {
-	return p.exec.EnableSelfTelemetry(opts)
+	t, err := p.exec.EnableSelfTelemetry(opts)
+	if err == nil && p.manager != nil {
+		// Federated deployments also get sys$peers, fed from the discovery
+		// manager's membership view.
+		t.SetPeerSource(p.peerReports)
+	}
+	return t, err
 }
 
 // Telemetry returns the self-telemetry subsystem, or nil when disabled.

@@ -57,6 +57,7 @@ func (p *PEMS) DebugHandler() http.Handler {
 	return obs.DebugMux(p.writeStatus, map[string]http.Handler{
 		"/debug/trace":  trace.Handler(trace.Default),
 		"/debug/health": p.healthHandler(),
+		"/debug/peers":  p.peersHandler(),
 	})
 }
 

@@ -1,0 +1,119 @@
+package pems
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"serena/internal/cq"
+)
+
+// peerReports adapts the discovery manager's membership view to the
+// telemetry scraper's sys$peers feed.
+func (p *PEMS) peerReports() []cq.PeerReport {
+	if p.manager == nil {
+		return nil
+	}
+	peers := p.manager.Peers()
+	out := make([]cq.PeerReport, 0, len(peers))
+	for _, pi := range peers {
+		out = append(out, cq.PeerReport{
+			Node:     pi.Node,
+			State:    pi.State,
+			Lease:    pi.Lease.Milliseconds(),
+			Services: pi.Services,
+		})
+	}
+	return out
+}
+
+// PeersReport is the JSON shape served by /debug/peers: cluster membership
+// as the local discovery manager sees it, plus the per-node circuit-breaker
+// states that drive failover routing demotion.
+type PeersReport struct {
+	Enabled bool            `json:"enabled"` // false: no discovery manager attached
+	Peers   []PeerReportRow `json:"peers"`
+}
+
+// PeerReportRow is one peer in a PeersReport.
+type PeerReportRow struct {
+	Node       string `json:"node"`
+	Addr       string `json:"addr"`
+	State      string `json:"state"`            // "alive" or "down"
+	LeaseMS    int64  `json:"lease_ms"`         // configured lease
+	LeaseAgeMS int64  `json:"lease_age_ms"`     // alive: ms since last renewal; down: ms since departure
+	Services   int    `json:"services"`         // services this peer provides
+	Reason     string `json:"reason,omitempty"` // down peers: "bye" or "lease_expired"
+	Breaker    string `json:"breaker"`          // per-node breaker state
+}
+
+// PeersReport snapshots cluster membership. Enabled is false (with no rows)
+// when the PEMS runs without discovery.
+func (p *PEMS) PeersReport() PeersReport {
+	if p.manager == nil {
+		return PeersReport{}
+	}
+	rep := PeersReport{Enabled: true}
+	breakers := p.registry.NodeBreakerStates()
+	now := time.Now()
+	for _, pi := range p.manager.Peers() {
+		row := PeerReportRow{
+			Node:     pi.Node,
+			Addr:     pi.Addr,
+			State:    pi.State,
+			LeaseMS:  pi.Lease.Milliseconds(),
+			Services: pi.Services,
+			Reason:   pi.Reason,
+		}
+		switch pi.State {
+		case "alive":
+			// Renewal time = deadline − lease; age = now − renewal.
+			row.LeaseAgeMS = now.Sub(pi.Deadline.Add(-pi.Lease)).Milliseconds()
+		default:
+			row.LeaseAgeMS = now.Sub(pi.Since).Milliseconds()
+		}
+		if st, ok := breakers[pi.Node]; ok {
+			row.Breaker = st.String()
+		} else {
+			row.Breaker = "closed"
+		}
+		rep.Peers = append(rep.Peers, row)
+	}
+	return rep
+}
+
+// PeersReportText renders the membership report for serena's .peers
+// command, mirroring HealthReportText's style.
+func (p *PEMS) PeersReportText() string {
+	rep := p.PeersReport()
+	if !rep.Enabled {
+		return "discovery: disabled (no discovery bus attached)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "peers (%d):\n", len(rep.Peers))
+	if len(rep.Peers) == 0 {
+		b.WriteString("  (none discovered yet)\n")
+	}
+	for _, r := range rep.Peers {
+		fmt.Fprintf(&b, "  %-16s %-6s addr=%s services=%d lease=%dms age=%dms breaker=%s",
+			r.Node, r.State, r.Addr, r.Services, r.LeaseMS, r.LeaseAgeMS, r.Breaker)
+		if r.Reason != "" {
+			fmt.Fprintf(&b, "  (%s)", r.Reason)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// peersHandler serves /debug/peers (enabled:false rather than 404 when the
+// PEMS has no discovery, so probes can tell "off" from "gone").
+func (p *PEMS) peersHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p.PeersReport())
+	})
+}

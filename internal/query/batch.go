@@ -237,7 +237,7 @@ func (c *Context) InvokeBatchTracked(bp schema.BindingPattern, refs []string, in
 					ts.SetAttr("ref", bc.ref)
 					ts.SetAttr("in", bc.input.String())
 				}
-				rows, err := c.invokeFailed(bp, bc.ref, bc.input, bc.err, sk, ts)
+				rows, err := c.invokeFailed(bp, bc.ref, bc.input, bc.err, sk, nil, ts)
 				out[i] = algebra.BatchResult{Rows: rows, Err: err}
 			}
 			continue

@@ -267,6 +267,16 @@ func (c *Context) Invoke(bp schema.BindingPattern, ref string, input value.Tuple
 // executor's delta cache) must not remember such results, so the tuple is
 // retried at the next instant.
 func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input value.Tuple, skipped *bool) ([]value.Tuple, error) {
+	return c.InvokeObserved(bp, ref, input, skipped, nil)
+}
+
+// InvokeObserved is InvokeTracked with one more out-parameter: when the
+// physical call fails, *physErr (if non-nil) receives the RAW registry
+// error even if the degradation policy then absorbs it. The continuous
+// executor needs the distinction for federation (Definition 8): an active
+// invocation absorbed after resilience.ErrOutcomeUnknown may have fired on
+// the peer, so its tuple must be pinned rather than retried next tick.
+func (c *Context) InvokeObserved(bp schema.BindingPattern, ref string, input value.Tuple, skipped *bool, physErr *error) ([]value.Tuple, error) {
 	var span *trace.Span
 	if c.Span != nil { // sampled evaluation: record this tuple's β span
 		span = c.Span.Child(trace.SpanInvoke)
@@ -280,7 +290,7 @@ func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input valu
 		span.SetAttr("mode", "active")
 		rows, err := c.Registry.InvokeCtx(trace.ContextWith(c.ctx(), span), bp.Proto.Name, ref, input, c.At)
 		if err != nil {
-			return c.invokeFailed(bp, ref, input, err, skipped, span)
+			return c.invokeFailed(bp, ref, input, err, skipped, physErr, span)
 		}
 		c.finishInvokeSpan(span, rows)
 		return rows, nil
@@ -301,7 +311,7 @@ func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input valu
 		case service.BeginShared:
 			rows, err := flight.Wait()
 			if err != nil {
-				return c.invokeFailed(bp, ref, input, err, skipped, span)
+				return c.invokeFailed(bp, ref, input, err, skipped, physErr, span)
 			}
 			c.bump(&c.Stats.Coalesced)
 			span.SetAttr("mode", "coalesced")
@@ -312,7 +322,7 @@ func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input valu
 		rows, err := c.Registry.InvokeCtx(trace.ContextWith(c.ctx(), span), bp.Proto.Name, ref, input, c.At)
 		flight.Complete(rows, err)
 		if err != nil {
-			return c.invokeFailed(bp, ref, input, err, skipped, span)
+			return c.invokeFailed(bp, ref, input, err, skipped, physErr, span)
 		}
 		c.bump(&c.Stats.Passive)
 		c.finishInvokeSpan(span, rows)
@@ -321,7 +331,7 @@ func (c *Context) InvokeTracked(bp schema.BindingPattern, ref string, input valu
 	span.SetAttr("mode", "passive")
 	rows, err := c.Registry.InvokeCtx(trace.ContextWith(c.ctx(), span), bp.Proto.Name, ref, input, c.At)
 	if err != nil {
-		return c.invokeFailed(bp, ref, input, err, skipped, span)
+		return c.invokeFailed(bp, ref, input, err, skipped, physErr, span)
 	}
 	c.bump(&c.Stats.Passive)
 	c.finishInvokeSpan(span, rows)
@@ -388,7 +398,10 @@ func (c *Context) bump(counter *int64) {
 // realizes the virtual attributes as unknown. Skipped/null-filled results
 // must never be cached across instants — the tuple is retried at the next
 // one (*skipped signals that to the continuous executor's delta cache).
-func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value.Tuple, err error, skipped *bool, span *trace.Span) ([]value.Tuple, error) {
+func (c *Context) invokeFailed(bp schema.BindingPattern, ref string, input value.Tuple, err error, skipped *bool, physErr *error, span *trace.Span) ([]value.Tuple, error) {
+	if physErr != nil {
+		*physErr = err
+	}
 	span.SetAttr("error", err.Error())
 	defer span.Finish()
 	if c.Degradation == resilience.Default {

@@ -1,0 +1,52 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+)
+
+// Transport-outcome sentinels. The wire client classifies every failed
+// round trip into one of two classes, because the two demand opposite
+// treatment from the layers above:
+//
+//   - ErrUnreachable: the request never reached the peer (dial failure, or
+//     a write that poisoned the stream before the frame was complete).
+//     Nothing executed, so ANY caller — active invocations included — may
+//     safely re-route the call to a replica.
+//   - ErrOutcomeUnknown: the request was sent but no answer came back
+//     (connection lost mid-flight, timeout, cancellation). The peer may
+//     have executed it. Passive callers may re-send (Section 3.2
+//     determinism makes the duplicate harmless); an active invocation must
+//     NOT — its side effect may already have happened, and re-firing would
+//     duplicate the query's action set (Definition 8). The federation
+//     layer pins such invocations instead.
+var (
+	ErrUnreachable    = errors.New("resilience: peer unreachable")
+	ErrOutcomeUnknown = errors.New("resilience: outcome unknown")
+)
+
+// IsTransport reports whether err is a transport-class failure (either
+// sentinel) — the trigger for cross-node failover, as opposed to an
+// application error the owning node answered with.
+func IsTransport(err error) bool {
+	return errors.Is(err, ErrUnreachable) || errors.Is(err, ErrOutcomeUnknown)
+}
+
+// noResendKey marks contexts of calls that must never be re-sent once they
+// may have reached a peer (active invocations).
+type noResendKey struct{}
+
+// WithNoResend marks the context's call as non-resendable: a transport
+// layer that has sent the request and lost the connection must report
+// ErrOutcomeUnknown instead of transparently re-sending on a fresh
+// connection. The service registry sets this for active prototypes.
+func WithNoResend(ctx context.Context) context.Context {
+	return context.WithValue(ctx, noResendKey{}, true)
+}
+
+// NoResend reports whether the context forbids re-sending a possibly
+// delivered request.
+func NoResend(ctx context.Context) bool {
+	v, _ := ctx.Value(noResendKey{}).(bool)
+	return v
+}

@@ -60,8 +60,13 @@ func (r *Registry) InvokeBatchCtx(ctx context.Context, proto, ref string, inputs
 	p, okP := r.protos[proto]
 	e, okS := r.services[ref]
 	breakers := r.breakers
+	nodeBreakers := r.nodeBreakers
 	timeout := r.invokeTimeout
 	admission := r.admission
+	var cands []provider
+	if okS {
+		cands = e.candidates(nodeBreakers)
+	}
 	r.mu.RUnlock()
 	failAll := func(err error) []InvokeResult {
 		for i := range out {
@@ -75,7 +80,17 @@ func (r *Registry) InvokeBatchCtx(ctx context.Context, proto, ref string, inputs
 	if !okS {
 		return failAll(fmt.Errorf("%w: %s", ErrUnknownService, ref))
 	}
-	bs, hasBatch := e.svc.(BatchCtxService)
+	impl := cands[:0:0]
+	for _, c := range cands {
+		if c.svc.Implements(proto) {
+			impl = append(impl, c)
+		}
+	}
+	if len(impl) == 0 {
+		return failAll(fmt.Errorf("%w: %s on %s", ErrNotImplemented, proto, ref))
+	}
+	cands = impl
+	_, hasBatch := cands[0].svc.(BatchCtxService)
 	if !hasBatch {
 		// No batch transport: bounded per-item fan-out through InvokeCtx so
 		// every item keeps the full retry/breaker/metric treatment.
@@ -109,9 +124,6 @@ func (r *Registry) InvokeBatchCtx(ctx context.Context, proto, ref string, inputs
 		return out
 	}
 
-	if !e.svc.Implements(proto) {
-		return failAll(fmt.Errorf("%w: %s on %s", ErrNotImplemented, proto, ref))
-	}
 	if breakers != nil && !breakers.Allow(ref) {
 		obsInvokeShortCirc.Inc()
 		return failAll(fmt.Errorf("service: invoke %s on %s: %w", proto, ref, resilience.ErrOpen))
@@ -150,7 +162,12 @@ func (r *Registry) InvokeBatchCtx(ctx context.Context, proto, ref string, inputs
 		defer admission.Release()
 	}
 	im := e.metricsFor(proto, ref)
-	results := bs.InvokeBatchCtx(ctx, proto, conf, at)
+	if p.Active {
+		// Defensive: the planner only batches passive β, but if an active
+		// frame ever reaches here, forbid transparent transport re-sends.
+		ctx = resilience.WithNoResend(ctx)
+	}
+	results := invokeBatchCandidates(ctx, cands, nodeBreakers, p.Active, proto, conf, at)
 	for bi, res := range results {
 		if bi >= len(pos) {
 			break
@@ -189,4 +206,89 @@ func (r *Registry) InvokeBatchCtx(ctx context.Context, proto, ref string, inputs
 		out[pos[bi]].Err = fmt.Errorf("service: invoke %s on %s: batch transport returned %d of %d results", proto, ref, len(results), len(pos))
 	}
 	return out
+}
+
+// invokeBatchCandidates dispatches one conformed frame across a reference's
+// providers: the routing owner first, then re-dispatches ONLY the
+// transport-failed items to each surviving replica in turn (batch frame if
+// the replica has a batch transport, per-item calls otherwise). The same
+// failover rule as invokeCandidates applies: application errors stick with
+// the answering node, and active items never move after an ErrOutcomeUnknown.
+// Results are positional over conf.
+func invokeBatchCandidates(ctx context.Context, cands []provider, nb *resilience.BreakerSet, active bool, proto string, conf []value.Tuple, at Instant) []InvokeResult {
+	results := make([]InvokeResult, len(conf))
+	pending := make([]int, len(conf)) // indices into conf still unanswered
+	for i := range pending {
+		pending[i] = i
+	}
+	shortFrame := func(got, want int) error {
+		return fmt.Errorf("batch transport returned %d of %d results", got, want)
+	}
+	for ci, c := range cands {
+		if len(pending) == 0 {
+			break
+		}
+		if ci > 0 {
+			obsInvokeFailovers.Add(int64(len(pending)))
+		}
+		sub := make([]value.Tuple, len(pending))
+		for k, i := range pending {
+			sub[k] = conf[i]
+		}
+		var subRes []InvokeResult
+		if cbs, ok := c.svc.(BatchCtxService); ok {
+			subRes = cbs.InvokeBatchCtx(ctx, proto, sub, at)
+		} else {
+			subRes = make([]InvokeResult, len(sub))
+			for k, in := range sub {
+				rows, err := callService(ctx, c.svc, proto, in, at, 0)
+				subRes[k] = InvokeResult{Rows: rows, Err: err}
+			}
+		}
+		// Feed the node breaker once per frame: the node is down only if
+		// EVERY item failed at the transport layer; any application-level
+		// answer proves the node alive.
+		var frameErr error
+		allTransport := len(subRes) > 0
+		for _, res := range subRes {
+			if res.Err == nil || !resilience.IsTransport(res.Err) {
+				allTransport = false
+				break
+			}
+			frameErr = res.Err
+		}
+		if !allTransport {
+			frameErr = nil
+		}
+		onProviderResult(nb, c, frameErr)
+		// Split outcomes: transport-failed items that may legally move try
+		// the next candidate; everything else is final.
+		var retry []int
+		for k, i := range pending {
+			var res InvokeResult
+			if k < len(subRes) {
+				res = subRes[k]
+			} else {
+				res = InvokeResult{Err: shortFrame(len(subRes), len(sub))}
+			}
+			moveable := res.Err != nil && resilience.IsTransport(res.Err) &&
+				ctx.Err() == nil && ci+1 < len(cands) &&
+				(!active || errors.Is(res.Err, resilience.ErrUnreachable))
+			if moveable {
+				retry = append(retry, i)
+				continue
+			}
+			results[i] = res
+		}
+		pending = retry
+	}
+	if len(pending) > 0 {
+		// Candidates exhausted mid-split (should not happen: items only stay
+		// pending when another candidate remains) — fail them explicitly.
+		obsInvokeExhausted.Add(int64(len(pending)))
+		for _, i := range pending {
+			results[i] = InvokeResult{Err: fmt.Errorf("%w after %d providers", resilience.ErrUnreachable, len(cands))}
+		}
+	}
+	return results
 }

@@ -41,7 +41,15 @@ type invokeMetrics struct {
 // no second hash, no extra lock. A service implements very few prototypes,
 // so resolution is a short slice scan over an immutable snapshot.
 type svcEntry struct {
-	svc  Service
+	svc Service
+	// providers lists the nodes replicating this reference, sorted by
+	// descending rendezvous score (see provider.go); empty for plain
+	// single-service registrations. svc always aliases the routing owner
+	// (providers[0].svc) when providers exist. batchCounted tracks whether
+	// this entry is counted in Registry.batchable.
+	providers    []provider
+	batchCounted bool
+
 	im   atomic.Pointer[[]protoMetrics]
 	imMu sync.Mutex // serializes bundle creation; readers go through im
 }
@@ -179,8 +187,13 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 	e, okS := r.services[ref]
 	retry := r.retry
 	breakers := r.breakers
+	nodeBreakers := r.nodeBreakers
 	timeout := r.invokeTimeout
 	admission := r.admission
+	var cands []provider
+	if okS {
+		cands = e.candidates(nodeBreakers)
+	}
 	r.mu.RUnlock()
 	if !okP {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownPrototype, proto)
@@ -188,13 +201,25 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 	if !okS {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownService, ref)
 	}
-	s := e.svc
-	if !s.Implements(proto) {
+	impl := cands[:0:0]
+	for _, c := range cands {
+		if c.svc.Implements(proto) {
+			impl = append(impl, c)
+		}
+	}
+	if len(impl) == 0 {
 		return nil, fmt.Errorf("%w: %s on %s", ErrNotImplemented, proto, ref)
 	}
+	cands = impl
 	in, err := p.Input.Conforms(input)
 	if err != nil {
 		return nil, fmt.Errorf("service: invoke %s on %s: input: %w", proto, ref, err)
+	}
+	if p.Active {
+		// An active request that reaches a peer must never be transparently
+		// re-sent by the transport: a lost answer surfaces as
+		// ErrOutcomeUnknown instead, and the layers above pin the action.
+		ctx = resilience.WithNoResend(ctx)
 	}
 
 	// Retries are sound only for passive prototypes: an active invocation
@@ -262,7 +287,7 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 		if sampleLatency {
 			start = time.Now()
 		}
-		rows, lastErr = callService(ctx, s, proto, in, at, timeout)
+		rows, lastErr = invokeCandidates(ctx, cands, nodeBreakers, p.Active, proto, in, at, timeout, span)
 		if admission != nil {
 			admission.Release()
 		}
@@ -299,6 +324,45 @@ func (r *Registry) InvokeCtx(ctx context.Context, proto, ref string, input value
 		out[i] = c
 	}
 	return out, nil
+}
+
+// invokeCandidates runs one physical attempt across a reference's
+// providers in routing order: the rendezvous owner first, then — on
+// transport-class failures only — the surviving replicas, all within the
+// same call (so a tick evaluated during a node loss still sees the same
+// rows the never-crashed control would). Application errors never fail
+// over: the owner answered, and Section 3.2 determinism means a replica
+// would answer the same. Active invocations fail over only on
+// ErrUnreachable (the request never left this node); once an active
+// request MAY have reached a peer (ErrOutcomeUnknown) it is never re-fired
+// — the error propagates for the query layer to pin (Definition 8). Each
+// attempt is individually bounded by the per-invocation timeout.
+func invokeCandidates(ctx context.Context, cands []provider, nb *resilience.BreakerSet, active bool, proto string, in value.Tuple, at Instant, timeout time.Duration, span *trace.Span) ([]value.Tuple, error) {
+	var lastErr error
+	for i, c := range cands {
+		if i > 0 {
+			obsInvokeFailovers.Inc()
+		}
+		rows, err := callService(ctx, c.svc, proto, in, at, timeout)
+		onProviderResult(nb, c, err)
+		if err == nil {
+			if i > 0 {
+				span.SetAttr("failover_node", c.node)
+			}
+			return rows, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !resilience.IsTransport(err) {
+			return nil, err
+		}
+		if active && !errors.Is(err, resilience.ErrUnreachable) {
+			return nil, err
+		}
+	}
+	if len(cands) > 1 {
+		obsInvokeExhausted.Inc()
+	}
+	return nil, lastErr
 }
 
 // callService runs one physical attempt, bounded by the per-invocation

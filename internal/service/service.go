@@ -133,6 +133,10 @@ type Registry struct {
 	invokeTimeout time.Duration
 	retry         resilience.RetryPolicy
 	breakers      *resilience.BreakerSet
+	// nodeBreakers trips per NODE (never nil): fed only by transport-class
+	// outcomes of provider-backed invocations, an Open node breaker demotes
+	// all of that node's providers in routing order (see provider.go).
+	nodeBreakers *resilience.BreakerSet
 	// admission, when set, caps concurrent physical invocations through
 	// this registry (see SetAdmissionLimit in resilient.go).
 	admission *resilience.Limiter
@@ -140,11 +144,13 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		protos:   make(map[string]*schema.Prototype),
 		services: make(map[string]*svcEntry),
 		watchers: make(map[int]chan Event),
 	}
+	r.SetNodeBreakerPolicy(resilience.BreakerPolicy{})
+	return r
 }
 
 // RegisterPrototype declares a prototype. Re-registering an identical
@@ -205,10 +211,9 @@ func (r *Registry) Register(s Service) error {
 			return fmt.Errorf("%w: %s (claimed by service %s)", ErrUnknownPrototype, pn, s.Ref())
 		}
 	}
-	r.services[s.Ref()] = &svcEntry{svc: s}
-	if _, ok := s.(BatchCtxService); ok {
-		r.batchable++
-	}
+	e := &svcEntry{svc: s}
+	r.services[s.Ref()] = e
+	r.recountBatchableLocked(e, true)
 	if r.breakers != nil {
 		// A (re)registered service starts with a clean slate: whatever
 		// failure history its reference accumulated belongs to the departed
@@ -230,7 +235,7 @@ func (r *Registry) Unregister(ref string) error {
 		return fmt.Errorf("%w: %s", ErrUnknownService, ref)
 	}
 	delete(r.services, ref)
-	if _, ok := e.svc.(BatchCtxService); ok {
+	if e.batchCounted {
 		r.batchable--
 	}
 	r.broadcastLocked(Event{Kind: Removed, Ref: ref, Prototypes: e.svc.PrototypeNames()})

@@ -31,14 +31,18 @@ import (
 
 // Version is the wire protocol version stamped on every request. Version 2
 // added the trace-context fields (Ver, TraceID, SpanID); version 3 added the
-// "batch" op carrying many invocations per round trip (Items/ItemResults).
-// Interop is bidirectional without negotiation because gob ignores fields
-// the receiver does not know and zero-values fields the sender did not
-// write: a v1 server sees a v2 request as a v1 request, and a v2 server sees
-// a v1 request with TraceID 0 — the "not traced" sentinel. A pre-v3 server
-// answers a batch frame with "unknown op", which the client takes as the
-// signal to fall back to per-item invokes for the rest of the connection.
-const Version = 3
+// "batch" op carrying many invocations per round trip (Items/ItemResults);
+// version 4 added the "announce" op carrying discovery presence frames
+// (Announces), turning wire links into a federation bus between pemsd
+// nodes. Interop is bidirectional without negotiation because gob ignores
+// fields the receiver does not know and zero-values fields the sender did
+// not write: a v1 server sees a v2 request as a v1 request, and a v2 server
+// sees a v1 request with TraceID 0 — the "not traced" sentinel. A pre-v3
+// server answers a batch frame with "unknown op", which the client takes as
+// the signal to fall back to per-item invokes for the rest of the
+// connection; a pre-v4 server answers an announce frame the same way, and
+// the sender simply stops relaying to it.
+const Version = 4
 
 // Wire metrics: round-trip latency and outcome counters, plus connection
 // churn (dials cover both the first connect and every redial).
@@ -152,6 +156,32 @@ type Request struct {
 	// Items carries a batch of invocations (Op "batch", since Version 3);
 	// the per-request Proto/Ref/Input fields are unused for that op.
 	Items []BatchItem
+	// Announces carries discovery presence frames (Op "announce", since
+	// Version 4).
+	Announces []Announce
+}
+
+// Announce kinds, mirroring discovery's Alive/Bye (wire cannot import the
+// discovery package — it sits below it).
+const (
+	AnnounceAlive uint8 = iota
+	AnnounceBye
+)
+
+// Announce is one discovery presence frame relayed between pemsd nodes
+// (Op "announce", since Version 4): a node is alive at an address hosting
+// the listed services, or says goodbye. Origin+Seq implement relay loop
+// suppression — Seq increases monotonically per origin, so a receiver drops
+// any frame at or below the last sequence it saw from that origin. From
+// names the immediate sender (≠ Origin on relayed frames), letting a
+// relaying node skip echoing a frame straight back to whoever sent it.
+type Announce struct {
+	Kind     uint8
+	Node     string // the node this frame is about (the origin)
+	Addr     string // its wire address
+	Seq      uint64 // per-origin monotonic sequence number
+	From     string // immediate sender of this frame
+	Services []ServiceInfo
 }
 
 // BatchItem is one invocation within a batch frame. Carrying proto and ref
@@ -210,6 +240,11 @@ type Server struct {
 	readTimeout  time.Duration
 	writeTimeout time.Duration
 	inFlight     atomic.Int64
+
+	// announceHandler receives incoming v4 announce frames (the WireBus
+	// attaches itself here). Nil servers answer announce frames with
+	// "unknown op", exactly like a pre-v4 peer.
+	announceHandler atomic.Pointer[func([]Announce)]
 }
 
 // NewServer wraps a registry of local services under a node name.
@@ -230,6 +265,18 @@ func (s *Server) SetBatchParallelism(n int) {
 
 // Node returns the node name.
 func (s *Server) Node() string { return s.node }
+
+// SetAnnounceHandler installs the receiver for incoming v4 announce frames
+// (nil uninstalls it, making the server answer them with "unknown op" like
+// a pre-v4 peer). The handler runs on the per-request goroutine and must
+// not block indefinitely.
+func (s *Server) SetAnnounceHandler(h func([]Announce)) {
+	if h == nil {
+		s.announceHandler.Store(nil)
+		return
+	}
+	s.announceHandler.Store(&h)
+}
 
 // Listen starts serving on the given address ("127.0.0.1:0" for an
 // ephemeral port) and returns the bound address.
@@ -347,8 +394,12 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) handle(req *Request) *Response {
 	switch req.Op {
 	case "describe":
+		// Only locally hosted services are exported: provider-backed entries
+		// were discovered from OTHER nodes, and re-exporting them would let
+		// membership gossip turn every node into a claimed provider of
+		// everything (invocation forwarding chains, ambiguous ownership).
 		resp := &Response{Node: s.node}
-		for _, ref := range s.reg.Refs() {
+		for _, ref := range s.reg.LocalRefs() {
 			svc, err := s.reg.Lookup(ref)
 			if err != nil {
 				continue
@@ -385,6 +436,16 @@ func (s *Server) handle(req *Request) *Response {
 
 	case "batch":
 		return s.handleBatch(req)
+
+	case "announce":
+		h := s.announceHandler.Load()
+		if h == nil {
+			break // no bus attached: answer like a pre-v4 peer
+		}
+		(*h)(req.Announces)
+		// The response names this node so the announcing dialer learns the
+		// addr → node mapping without a separate describe round trip.
+		return &Response{Node: s.node}
 	}
 	return &Response{Err: fmt.Sprintf("wire: unknown op %q", req.Op)}
 }
@@ -523,7 +584,9 @@ func (c *Client) connectLocked() error {
 	obsWireDials.Inc()
 	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 	if err != nil {
-		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+		// ErrUnreachable: the request (if any) never left this process, so
+		// even an active invocation may safely fail over to a replica.
+		return fmt.Errorf("wire: dial %s: %w: %w", c.addr, resilience.ErrUnreachable, err)
 	}
 	cc := &clientConn{conn: conn, enc: gob.NewEncoder(conn), pending: make(map[uint64]chan *Response)}
 	c.cur = cc
@@ -648,8 +711,12 @@ func (c *Client) doRoundTripCtx(ctx context.Context, req *Request) (*Response, e
 func (c *Client) tryRoundTrip(ctx context.Context, req *Request) (resp *Response, err error, retryable bool) {
 	c.mu.Lock()
 	if c.closed {
+		// A deliberately closed client (the discovery manager processed a
+		// Bye for this node) never sends: unreachable, so callers racing
+		// the close — a batch frame in flight during the Bye — fail over
+		// to a surviving replica instead of surfacing a terminal error.
 		c.mu.Unlock()
-		return nil, fmt.Errorf("wire: %s: client closed", c.addr), false
+		return nil, fmt.Errorf("wire: %s: %w: client closed", c.addr, resilience.ErrUnreachable), false
 	}
 	if c.cur == nil {
 		if err := c.connectLocked(); err != nil {
@@ -671,7 +738,9 @@ func (c *Client) tryRoundTrip(ctx context.Context, req *Request) (resp *Response
 	}
 	if err != nil {
 		// A failed write poisons the gob stream: drop the connection and
-		// fail fast every request still in flight on it.
+		// fail fast every request still in flight on it. The incomplete
+		// frame can never decode server-side, so the request did not
+		// execute — unreachable, not unknown.
 		if c.cur == cc {
 			c.cur = nil
 		}
@@ -681,7 +750,7 @@ func (c *Client) tryRoundTrip(ctx context.Context, req *Request) (resp *Response
 		}
 		_ = cc.conn.Close()
 		c.mu.Unlock()
-		return nil, fmt.Errorf("wire: %s: %w", c.addr, err), true
+		return nil, fmt.Errorf("wire: %s: %w: %w", c.addr, resilience.ErrUnreachable, err), true
 	}
 	c.mu.Unlock()
 
@@ -695,12 +764,17 @@ func (c *Client) tryRoundTrip(ctx context.Context, req *Request) (resp *Response
 	case resp, ok := <-ch:
 		if !ok {
 			// The connection died before our response was routed back: the
-			// reply can never arrive, so redialing and resending is the
-			// only way forward. (An ACTIVE request may still have executed
-			// server-side before the crash — see "Failure semantics" in
-			// DESIGN.md for the at-most-once discussion.)
+			// reply can never arrive. The request WAS sent, so the server
+			// may have executed it — ErrOutcomeUnknown. For passive calls
+			// redialing and resending is safe and the only way forward; a
+			// no-resend context (active invocations) must instead surface
+			// the unknown outcome so the query layer can pin the action
+			// rather than risk firing its side effect twice.
 			obsWireConnLost.Inc()
-			return nil, fmt.Errorf("wire: %s: connection lost", c.addr), true
+			if resilience.NoResend(ctx) {
+				return nil, fmt.Errorf("wire: %s: connection lost: %w", c.addr, resilience.ErrOutcomeUnknown), false
+			}
+			return nil, fmt.Errorf("wire: %s: connection lost: %w", c.addr, resilience.ErrOutcomeUnknown), true
 		}
 		return resp, nil, false
 	case <-timeout:
@@ -708,12 +782,12 @@ func (c *Client) tryRoundTrip(ctx context.Context, req *Request) (resp *Response
 		c.mu.Lock()
 		delete(cc.pending, req.ID)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("wire: %s: request timed out after %s", c.addr, c.timeout), false
+		return nil, fmt.Errorf("wire: %s: request timed out after %s: %w", c.addr, c.timeout, resilience.ErrOutcomeUnknown), false
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(cc.pending, req.ID)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("wire: %s: %w", c.addr, ctx.Err()), false
+		return nil, fmt.Errorf("wire: %s: %w: %w", c.addr, resilience.ErrOutcomeUnknown, ctx.Err()), false
 	}
 }
 
@@ -727,6 +801,29 @@ func (c *Client) Describe() (string, []ServiceInfo, error) {
 		return "", nil, remoteError(resp.Err)
 	}
 	return resp.Node, resp.Services, nil
+}
+
+// ErrAnnounceUnsupported reports a pre-v4 peer that cannot carry announce
+// frames (it answered "unknown op").
+var ErrAnnounceUnsupported = fmt.Errorf("wire: peer does not support announce frames")
+
+// Announce ships discovery presence frames to the peer (wire v4) and
+// returns the peer's node name, so the dialing side of a federation link
+// learns the addr → node mapping for free. A pre-v4 peer answers "unknown
+// op", surfaced as ErrAnnounceUnsupported so the sender can stop relaying
+// to it instead of retrying forever.
+func (c *Client) Announce(ctx context.Context, anns []Announce) (string, error) {
+	resp, err := c.roundTripCtx(ctx, &Request{Op: "announce", Announces: anns})
+	if err != nil {
+		return "", err
+	}
+	if resp.Err != "" {
+		if strings.Contains(resp.Err, "unknown op") {
+			return "", ErrAnnounceUnsupported
+		}
+		return "", remoteError(resp.Err)
+	}
+	return resp.Node, nil
 }
 
 // Invoke performs a remote invocation.
