@@ -37,14 +37,19 @@ bench:
 # gated benchmark (BenchmarkInvoke*/BenchmarkDurableTick/
 # BenchmarkDeltaInvocation*) regressed >20% against the previous report —
 # missing or cross-machine baselines pass with a warning (cmd/benchfmt
-# -diff) — and (b) fail unless the incremental evaluator beats the naive
-# one at every window size of the sweep, a same-run comparison with no
-# cannot-compare escape (cmd/benchfmt -faster).
+# -diff) — (b) fail unless the incremental evaluator beats the naive one at
+# every window size of the sweep, and (c) fail unless N readers over one
+# materialized INTO relation beat N re-evaluated window queries at every
+# fan-in width — both same-run comparisons with no cannot-compare escape
+# (cmd/benchfmt -faster).
 bench-check:
 	OUT=BENCH_check.json sh scripts/bench.sh
 	$(GO) run ./cmd/benchfmt -diff BENCH_check.json
 	$(GO) run ./cmd/benchfmt \
 		-faster 'BenchmarkDeltaInvocation/delta<BenchmarkDeltaInvocation/naive' \
+		BENCH_check.json
+	$(GO) run ./cmd/benchfmt \
+		-faster 'BenchmarkMaterializedFanIn/materialized<BenchmarkMaterializedFanIn/reeval' \
 		BENCH_check.json
 
 # Overload soak: flood a bounded stream at ~2× drain capacity under -race

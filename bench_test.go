@@ -481,6 +481,92 @@ func benchDeltaSweep(b *testing.B, n, churn int, naive bool) {
 }
 
 // ---------------------------------------------------------------------------
+// Materialized fan-in: N readers over ONE materialized derived relation
+// (REGISTER QUERY … INTO) vs N readers each re-evaluating the same windowed
+// selection for themselves. The producer's per-tick (inserts, deletes) feed
+// every consumer's delta directly, so the windowed scan is paid once per
+// tick instead of once per reader. `make bench-check` fails if the
+// materialized arm is not strictly faster at every fan-in width
+// (cmd/benchfmt -faster).
+
+func BenchmarkMaterializedFanIn(b *testing.B) {
+	for _, mode := range []string{"reeval", "materialized"} {
+		for _, n := range []int{4, 16, 64} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+				benchFanIn(b, n, mode == "materialized")
+			})
+		}
+	}
+}
+
+func benchFanIn(b *testing.B, readers int, materialized bool) {
+	const (
+		churn  = 16 // fresh events per instant
+		period = 64 // window the shared selection scans
+	)
+	reg := service.NewRegistry()
+	exec := cq.NewExecutor(reg)
+	events := stream.NewInfinite(bench.FeedLikeStreamSchema("events"))
+	if err := exec.AddRelation(events); err != nil {
+		b.Fatal(err)
+	}
+	seq := 0
+	feed := func(at service.Instant) {
+		for j := 0; j < churn; j++ {
+			seq++
+			err := events.Insert(at, value.Tuple{
+				value.NewInt(int64(seq)), value.NewString(fmt.Sprintf("p%02d", seq%16)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// The downsample shape INTO exists for: the windowed scan touches every
+	// event, the selection keeps a small fraction (2 of 16 payload classes),
+	// and readers consume the compact derived relation.
+	shared := func() query.Node {
+		return query.NewSelect(
+			query.NewWindow(query.NewBase("events"), period),
+			algebra.Compare(algebra.Attr("payload"), algebra.Contains, algebra.Const(value.NewString("3"))))
+	}
+	if materialized {
+		if _, err := exec.RegisterWith("producer", shared(), cq.RegisterOptions{Into: "hotmat", Retain: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < readers; i++ {
+		var plan query.Node
+		if materialized {
+			plan = query.NewProject(query.NewBase("hotmat"), "id")
+		} else {
+			plan = query.NewProject(shared(), "id")
+		}
+		q, err := exec.Register(fmt.Sprintf("reader%02d", i), plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := q.EvaluationMode(); got != "delta" {
+			b.Fatalf("reader mode = %q, want delta", got)
+		}
+	}
+	// Warm up past the window build so the timed region is the steady state.
+	for i := 0; i < 2; i++ {
+		feed(exec.Now() + 1)
+		if _, err := exec.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feed(exec.Now() + 1)
+		if _, err := exec.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Durability A/B: continuous-query tick throughput with no WAL at all and
 // with the WAL at each fsync policy, over the BenchmarkDeltaInvocation
 // workload. The budget is <=5% overhead for -fsync interval over the

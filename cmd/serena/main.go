@@ -785,7 +785,14 @@ func command(p *pems.PEMS, line string, out io.Writer) bool {
 		}
 		for _, name := range names {
 			if q, ok := p.Executor().Query(name); ok {
-				fmt.Fprintf(out, "  %-16s %s\n", name, q.Plan())
+				var into string
+				if q.Into() != "" {
+					into = " INTO " + q.Into()
+					if q.Retain() > 0 {
+						into += fmt.Sprintf(" RETAIN %d", q.Retain())
+					}
+				}
+				fmt.Fprintf(out, "  %-16s %s%s\n", name, q.Plan(), into)
 			}
 		}
 	case ".services":

@@ -98,6 +98,17 @@ func (b *deltaBase) apply(ev *evaluator, init bool, from service.Instant) (algeb
 		d, err := b.gate.Apply(tuples, nil)
 		return d, len(tuples), err
 	}
+	// Cascade fast path: when the base is another query's finite output
+	// relation and that producer evaluated this same instant, its published
+	// (inserts, deletes) ARE this tick's events — feed them to the gate
+	// directly instead of re-reading the event log. A producer that was
+	// coalesced, re-initialized, or is not a query output falls through to
+	// the log scan (identical contents, including the coalesced case: a
+	// skipped producer appended no events).
+	if ins, del, ok := ev.exec.producerDelta(b.name, from, ev.at); ok {
+		d, err := b.gate.Apply(ins, del)
+		return d, len(ins) + len(del), err
+	}
 	events := x.EventsIn(from, ev.at)
 	var enter, leave []value.Tuple
 	for _, e := range events {

@@ -1,11 +1,16 @@
 package cq_test
 
 import (
+	"strings"
 	"testing"
 
 	"serena/internal/algebra"
+	"serena/internal/cq"
 	"serena/internal/device"
 	"serena/internal/query"
+	"serena/internal/schema"
+	"serena/internal/service"
+	"serena/internal/stream"
 	"serena/internal/value"
 )
 
@@ -105,6 +110,164 @@ func TestNoTrimWithoutWindows(t *testing.T) {
 	temps, _ := s.exec.Relation("temperatures")
 	if got := temps.EventCount(); got != 4*50 {
 		t.Fatalf("untrimmed log = %d events, want 200", got)
+	}
+}
+
+// TestUnregisterProducerWithConsumers: a query whose derived output is read
+// by later-registered queries cannot be unregistered until its consumers are
+// gone — tearing the producer out from under them would leave the consumers'
+// base relation dangling.
+func TestUnregisterProducerWithConsumers(t *testing.T) {
+	s := newScenario(t)
+	if _, err := s.exec.Register("hot", query.NewSelect(
+		query.NewWindow(query.NewBase("temperatures"), 1),
+		algebra.Compare(algebra.Attr("temperature"), algebra.Gt, algebra.Const(value.NewReal(28))))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.exec.Register("watcher", query.NewJoin(
+		query.NewBase("contacts"), query.NewBase("hot"))); err != nil {
+		t.Fatal(err)
+	}
+	err := s.exec.Unregister("hot")
+	if err == nil {
+		t.Fatal("unregistering a producer with a live consumer must fail")
+	}
+	if !strings.Contains(err.Error(), "watcher") || !strings.Contains(err.Error(), `"hot"`) {
+		t.Fatalf("error should name the consumer and the derived relation: %v", err)
+	}
+	// The refused removal must leave the pair fully functional.
+	if err := s.exec.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	// Consumer first, then producer: both succeed.
+	if err := s.exec.Unregister("watcher"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.exec.Unregister("hot"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.exec.Relation("hot"); ok {
+		t.Fatal("derived relation should disappear with its query")
+	}
+}
+
+// TestUnregisterMaterializedProducer: the consumer guard keys on the INTO
+// target, not the query name.
+func TestUnregisterMaterializedProducer(t *testing.T) {
+	s := newScenario(t)
+	if _, err := s.exec.RegisterWith("feed", query.NewWindow(query.NewBase("temperatures"), 2),
+		cq.RegisterOptions{Into: "recent"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.exec.Register("reader", query.NewBase("recent")); err != nil {
+		t.Fatal(err)
+	}
+	err := s.exec.Unregister("feed")
+	if err == nil || !strings.Contains(err.Error(), "reader") || !strings.Contains(err.Error(), `"recent"`) {
+		t.Fatalf("unregister of INTO producer with consumer: %v", err)
+	}
+	if err := s.exec.Unregister("reader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.exec.Unregister("feed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.exec.Relation("recent"); ok {
+		t.Fatal("INTO relation should disappear with its producer")
+	}
+}
+
+// TestMaterializedIntoGuards: INTO names live in the same namespace as
+// relations and queries, and collisions are rejected at registration time.
+func TestMaterializedIntoGuards(t *testing.T) {
+	s := newScenario(t)
+	w := func() query.Node { return query.NewWindow(query.NewBase("temperatures"), 1) }
+	if _, err := s.exec.RegisterWith("q1", w(), cq.RegisterOptions{Into: "contacts"}); err == nil {
+		t.Fatal("INTO colliding with a base relation accepted")
+	}
+	if _, err := s.exec.RegisterWith("q1", w(), cq.RegisterOptions{Into: "sys$x"}); err == nil {
+		t.Fatal("INTO with reserved sys$ prefix accepted")
+	}
+	if _, err := s.exec.RegisterWith("q1", w(), cq.RegisterOptions{Into: "q1"}); err == nil {
+		t.Fatal("INTO equal to the query's own name accepted")
+	}
+	if _, err := s.exec.RegisterWith("q1", w(), cq.RegisterOptions{Retain: -1}); err == nil {
+		t.Fatal("negative retention accepted")
+	}
+	if _, err := s.exec.RegisterWith("q1", w(), cq.RegisterOptions{Into: "mat1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.exec.RegisterWith("q2", w(), cq.RegisterOptions{Into: "mat1"}); err == nil {
+		t.Fatal("duplicate INTO target accepted")
+	}
+	if _, err := s.exec.RegisterWith("q2", w(), cq.RegisterOptions{Into: "q1"}); err == nil {
+		t.Fatal("INTO colliding with a registered query name accepted")
+	}
+	if _, err := s.exec.Register("mat1", w()); err == nil {
+		t.Fatal("query named after an existing INTO relation accepted")
+	}
+	if x, ok := s.exec.Relation("mat1"); !ok || x == nil {
+		t.Fatal("INTO relation not visible")
+	}
+}
+
+// TestDerivedRetentionDefault: an infinite derived output nobody windows was
+// previously never trimmed and grew without bound. It now falls back to the
+// engine-default retention. 10k-tick soak.
+func TestDerivedRetentionDefault(t *testing.T) {
+	s := newScenario(t)
+	// A counter stream producing one fresh tuple per instant, so the derived
+	// insertion stream emits continuously for the whole soak.
+	ticks := stream.NewInfinite(schema.MustExtended("ticks", []schema.ExtAttr{
+		{Attribute: schema.Attribute{Name: "n", Type: value.Int}},
+	}, nil))
+	if err := s.exec.AddRelation(ticks); err != nil {
+		t.Fatal(err)
+	}
+	s.exec.AddSource(func(at service.Instant) error {
+		return ticks.Insert(at, value.Tuple{value.NewInt(int64(at))})
+	})
+	if _, err := s.exec.Register("feed", query.NewStream(
+		query.NewWindow(query.NewBase("ticks"), 1),
+		query.StreamInsertion)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.exec.RunUntil(9999); err != nil {
+		t.Fatal(err)
+	}
+	feed, ok := s.exec.Relation("feed")
+	if !ok {
+		t.Fatal("derived relation not visible")
+	}
+	// 10000 instants flowed through (one event each); retention keeps only
+	// the newest DefaultDerivedRetention instants.
+	horizon := int(cq.DefaultDerivedRetention)
+	if got := feed.EventCount(); got > horizon || got < horizon-8 {
+		t.Fatalf("derived log = %d events, want ≈ %d", got, horizon)
+	}
+}
+
+// TestExplicitRetainTrimsFiniteOutput: RETAIN bounds a finite materialized
+// relation's event log — window-based trimming never applies to finite
+// relations, so without RETAIN the churn log would keep every tick's
+// insert+delete pair forever.
+func TestExplicitRetainTrimsFiniteOutput(t *testing.T) {
+	s := newScenario(t)
+	if _, err := s.exec.RegisterWith("snap", query.NewWindow(query.NewBase("temperatures"), 1),
+		cq.RegisterOptions{Into: "latest", Retain: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.exec.RunUntil(99); err != nil {
+		t.Fatal(err)
+	}
+	latest, _ := s.exec.Relation("latest")
+	if len(latest.Current()) == 0 {
+		t.Fatal("materialized window should hold the newest readings")
+	}
+	// Per tick the 1-instant window fully churns: ≈4 deletes + 4 inserts.
+	// RETAIN 5 keeps only the newest 5 instants of that log.
+	if got := latest.EventCount(); got > 8*6 {
+		t.Fatalf("retained log = %d events, want ≤ %d", got, 8*6)
 	}
 }
 

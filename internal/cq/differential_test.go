@@ -91,7 +91,12 @@ func newDiffWorld(t *testing.T) *diffWorld {
 
 func (w *diffWorld) register(t *testing.T, name string, plan query.Node) {
 	t.Helper()
-	q, err := w.exec.Register(name, plan)
+	w.registerWith(t, name, plan, cq.RegisterOptions{})
+}
+
+func (w *diffWorld) registerWith(t *testing.T, name string, plan query.Node, opts cq.RegisterOptions) {
+	t.Helper()
+	q, err := w.exec.RegisterWith(name, plan, opts)
 	if err != nil {
 		t.Fatalf("register %s: %v", name, err)
 	}
@@ -137,6 +142,7 @@ func diffPlans(rng *rand.Rand) map[string]func() query.Node {
 	mixKind := setOps[rng.Intn(len(setOps))]
 	mixTh, mixP := threshold(), period()
 	mixStream := streamKinds[rng.Intn(len(streamKinds))]
+	cascTh, cascP := threshold(), period()
 
 	return map[string]func() query.Node{
 		// Active β over a join: Table 4's Q3 shape (σ, W, ⋈, α const, β).
@@ -190,7 +196,25 @@ func diffPlans(rng *rand.Rand) map[string]func() query.Node {
 					query.NewProject(hotWindow(mixTh, mixP), "location")),
 				mixStream)
 		},
+		// Cascade producer: materialized INTO "xmat" (registered with
+		// RegisterOptions by runDifferential; sorted order puts it before
+		// its consumer, so "xmat" exists when "xread" compiles).
+		"xfeed": func() query.Node {
+			return hotWindow(cascTh, cascP)
+		},
+		// Cascade consumer: joins a base relation with the materialized
+		// derived relation — the delta path rides the producer's per-tick
+		// (inserts, deletes) instead of re-scanning "xmat"'s event log.
+		"xread": func() query.Node {
+			return query.NewJoin(query.NewBase("contacts"), query.NewBase("xmat"))
+		},
 	}
+}
+
+// intoOpts maps query names to registration options; queries not listed
+// register plainly. Applied identically in both worlds.
+var intoOpts = map[string]cq.RegisterOptions{
+	"xfeed": {Into: "xmat"},
 }
 
 func sortedKeys(ts []value.Tuple) []string {
@@ -260,8 +284,8 @@ func runDifferential(t *testing.T, seed int64, ticks int) {
 	for _, name := range names {
 		// Each world gets its own AST instance (plans hold no state, but
 		// per-node maps in the executor key on node identity).
-		wd.register(t, name, plans[name]())
-		wn.register(t, name, plans[name]())
+		wd.registerWith(t, name, plans[name](), intoOpts[name])
+		wn.registerWith(t, name, plans[name](), intoOpts[name])
 		qd, _ := wd.exec.Query(name)
 		if qd.EvaluationMode() != "delta" {
 			t.Fatalf("seed %d: query %s has no delta form (%s)", seed, name, qd.DeltaReport())

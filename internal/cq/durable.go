@@ -20,9 +20,9 @@ import (
 // effectful-once protocol that lets recovery skip already-fired active
 // invocations (Definition 8) while freely recomputing passive ones.
 type Durability interface {
-	// AttachRelation starts logging the relation's events. Only base
-	// relations are attached; derived query outputs are recomputed on
-	// replay.
+	// AttachRelation starts logging the relation's events. Base relations
+	// and materialized (INTO) derived outputs are attached; plain derived
+	// query outputs are recomputed on replay instead.
 	AttachRelation(x *stream.XDRelation)
 	// BeginTick logs the start of instant at.
 	BeginTick(at service.Instant) error
@@ -67,7 +67,9 @@ type RelationState struct {
 type QueryState struct {
 	Name       string
 	Source     string
-	OnError    string // degradation policy DDL spelling
+	OnError    string          // degradation policy DDL spelling
+	Into       string          // materialized output relation ("" = none)
+	Retain     service.Instant // explicit RETAIN horizon (0 = none)
 	PrevOutput []value.Tuple
 	InvCache   []InvCacheEntry
 	StreamPrev []StreamPrevEntry
@@ -118,8 +120,8 @@ func (e *Executor) SetDurability(d Durability) {
 		return
 	}
 	for name, x := range e.rels {
-		if _, derived := e.queries[name]; derived {
-			continue
+		if q := e.producers[name]; q != nil && q.into == "" {
+			continue // plain derived outputs are recomputed on replay, not logged
 		}
 		if x.Ephemeral() {
 			continue // sys$ telemetry relations are never WAL-logged
@@ -162,7 +164,7 @@ func (e *Executor) snapshotLocked() CheckpointState {
 			// checkpoints, re-seeded by the scraper after recovery.
 			continue
 		}
-		_, derived := e.queries[name]
+		derived := e.producers[name] != nil
 		events, current, lastAt := x.StateSnapshot()
 		st.Relations = append(st.Relations, RelationState{
 			Name: name, Derived: derived, LastAt: lastAt, Events: events, Current: current,
@@ -177,6 +179,8 @@ func (e *Executor) snapshotLocked() CheckpointState {
 			Name:    name,
 			Source:  q.plan.String(),
 			OnError: deg.String(),
+			Into:    q.into,
+			Retain:  q.retain,
 			Stats:   stats,
 			Actions: q.actions.Sorted(),
 		}

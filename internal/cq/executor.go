@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,7 +68,12 @@ type Executor struct {
 	reg     *service.Registry
 	rels    map[string]*stream.XDRelation
 	queries map[string]*Query
-	order   []string // query evaluation order (registration order)
+	// producers maps each query's output-relation name (the INTO target
+	// when set, the query name otherwise) back to the producing query —
+	// the dependency index Unregister, trimming, checkpointing and the
+	// producer→consumer delta fast path all consult.
+	producers map[string]*Query
+	order     []string // query evaluation order (registration order)
 	sources []Source
 	now     service.Instant
 	// parallelism bounds concurrent invocations per invocation operator.
@@ -109,6 +115,7 @@ func NewExecutor(reg *service.Registry) *Executor {
 		reg:       reg,
 		rels:      make(map[string]*stream.XDRelation),
 		queries:   make(map[string]*Query),
+		producers: make(map[string]*Query),
 		maxWindow: make(map[string]service.Instant),
 		now:       -1,
 	}
@@ -146,6 +153,17 @@ func (e *Executor) Relation(name string) (*stream.XDRelation, bool) {
 	defer e.mu.Unlock()
 	x, ok := e.rels[name]
 	return x, ok
+}
+
+// Materialized reports whether name is a materialized derived relation —
+// the INTO target of a registered query. Its WAL events are informational
+// during replay: recovery re-derives the contents by re-evaluating the
+// producer, so applying the logged events too would double-apply.
+func (e *Executor) Materialized(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := e.producers[name]
+	return q != nil && q.into != ""
 }
 
 // SetParallelism bounds how many service invocations one invocation
@@ -197,6 +215,14 @@ type Query struct {
 	out        *stream.XDRelation
 	prevOutput map[string]value.Tuple // previous instantaneous result, by key
 
+	// into names the materialized output relation (REGISTER QUERY … INTO);
+	// "" means the output is registered under the query's own name and is
+	// recomputed rather than logged. retain is the INTO relation's RETAIN
+	// horizon in instants (0 = engine default for infinite outputs, no
+	// trimming for finite ones). Both are set at Register, then read-only.
+	into   string
+	retain service.Instant
+
 	invCache   map[*query.Invoke]map[string][]value.Tuple
 	streamPrev map[*query.Stream]map[string]value.Tuple
 
@@ -245,6 +271,22 @@ type Query struct {
 	naive      bool
 	deltaTicks int64
 	naiveTicks int64
+
+	// lastDelta (guarded by mu) is the query's most recent per-tick output
+	// delta, recorded for finite outputs on both evaluation paths. A
+	// downstream consumer's deltaBase reads it through producerDelta,
+	// feeding the producer's (inserts, deletes) straight into its gate
+	// instead of re-diffing the materialized relation's event log.
+	lastDelta queryDelta
+}
+
+// queryDelta is one tick's (inserts, deletes) as applied to the query's
+// output relation. at identifies the instant it belongs to — a consumer
+// must only consume it when the producer evaluated at the same instant.
+type queryDelta struct {
+	at  service.Instant
+	ins []value.Tuple
+	del []value.Tuple
 }
 
 // Name returns the query's registration name.
@@ -259,6 +301,29 @@ func (q *Query) Infinite() bool { return q.infinite }
 
 // Output returns the result XD-Relation, fed with the query's deltas.
 func (q *Query) Output() *stream.XDRelation { return q.out }
+
+// Into returns the materialized output relation name (REGISTER QUERY …
+// INTO), or "" when the output is registered under the query's own name.
+func (q *Query) Into() string { return q.into }
+
+// Retain returns the output relation's explicit RETAIN horizon in
+// instants (0 = none configured; infinite materialized outputs then fall
+// back to DefaultDerivedRetention).
+func (q *Query) Retain() service.Instant { return q.retain }
+
+// IsMaterialized reports whether the query materializes its output into a
+// named derived relation (INTO): such outputs are WAL-logged and
+// checkpointed like base relations instead of being recomputed on replay.
+func (q *Query) IsMaterialized() bool { return q.into != "" }
+
+// OutName returns the name the query's output relation is registered
+// under: the INTO target when set, the query name otherwise.
+func (q *Query) OutName() string {
+	if q.into != "" {
+		return q.into
+	}
+	return q.name
+}
 
 // Stats returns cumulative invocation statistics.
 func (q *Query) Stats() query.InvokeStats {
@@ -336,11 +401,36 @@ func (s schemaEnv) Relation(name string) (*algebra.XRelation, error) {
 	return algebra.Empty(x.Schema()), nil
 }
 
+// DefaultDerivedRetention is the event-log horizon, in instants, applied
+// to an infinite derived output relation whose query declares no RETAIN
+// clause. Without it a cascaded stream query with no windowed reader would
+// grow its event log without bound.
+const DefaultDerivedRetention service.Instant = 256
+
+// RegisterOptions carries the optional clauses of REGISTER QUERY.
+type RegisterOptions struct {
+	// Into materializes the query's output as a named derived XD-Relation
+	// ("" = register the output under the query's own name, recomputed on
+	// replay rather than WAL-logged).
+	Into string
+	// Retain bounds the output relation's event log to the last n instants
+	// (0 = no explicit policy; infinite INTO outputs then default to
+	// DefaultDerivedRetention).
+	Retain service.Instant
+}
+
 // Register adds a continuous query under a unique name. The plan is
 // validated: schemas must derive, and every base reference to an infinite
 // XD-Relation must appear directly under a Window operator (an unwindowed
 // stream has no finite instantaneous relation).
 func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
+	return e.RegisterWith(name, plan, RegisterOptions{})
+}
+
+// RegisterWith is Register plus the INTO/RETAIN clauses: the output
+// relation is registered under opts.Into, WAL-logged and checkpointed like
+// a base relation, and trimmed to opts.Retain instants.
+func (e *Executor) RegisterWith(name string, plan query.Node, opts RegisterOptions) (*Query, error) {
 	e.tickMu.Lock()
 	defer e.tickMu.Unlock()
 	e.mu.Lock()
@@ -350,6 +440,28 @@ func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
 	}
 	if isSystemName(name) {
 		return nil, fmt.Errorf("cq: query name %q: the sys$ prefix is reserved for system relations", name)
+	}
+	if opts.Retain < 0 {
+		return nil, fmt.Errorf("cq: query %q: negative retention %d", name, opts.Retain)
+	}
+	outName := name
+	if opts.Into != "" {
+		// Mirror the Register-side guards for the materialized target: the
+		// sys$ namespace stays reserved, and the name must not shadow an
+		// existing relation, query, or the query being registered.
+		if isSystemName(opts.Into) {
+			return nil, fmt.Errorf("cq: query %q: INTO target %q: the sys$ prefix is reserved for system relations", name, opts.Into)
+		}
+		if opts.Into == name {
+			return nil, fmt.Errorf("cq: query %q: INTO target must differ from the query name", name)
+		}
+		if _, taken := e.rels[opts.Into]; taken {
+			return nil, fmt.Errorf("cq: query %q: INTO target %q collides with an existing relation", name, opts.Into)
+		}
+		if _, taken := e.queries[opts.Into]; taken {
+			return nil, fmt.Errorf("cq: query %q: INTO target %q collides with a registered query", name, opts.Into)
+		}
+		outName = opts.Into
 	}
 	env := schemaEnv{e}
 	outSch, err := plan.ResultSchema(env)
@@ -362,9 +474,9 @@ func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
 	_, infinite := plan.(*query.Stream)
 	var out *stream.XDRelation
 	if infinite {
-		out = stream.NewInfinite(outSch.WithName(name))
+		out = stream.NewInfinite(outSch.WithName(outName))
 	} else {
-		out = stream.NewFinite(outSch.WithName(name))
+		out = stream.NewFinite(outSch.WithName(outName))
 	}
 	if _, taken := e.rels[name]; taken {
 		return nil, fmt.Errorf("cq: query name %q collides with a relation", name)
@@ -374,10 +486,13 @@ func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
 		plan:       plan,
 		infinite:   infinite,
 		out:        out,
+		into:       opts.Into,
+		retain:     opts.Retain,
 		prevOutput: map[string]value.Tuple{},
 		invCache:   map[*query.Invoke]map[string][]value.Tuple{},
 		streamPrev: map[*query.Stream]map[string]value.Tuple{},
 		actions:    query.NewActionSet(),
+		lastDelta:  queryDelta{at: -1},
 	}
 	q.indexPlanNodes()
 	e.computeHasActive(q)
@@ -397,7 +512,16 @@ func (e *Executor) Register(name string, plan query.Node) (*Query, error) {
 	// registered later may read it by name (derived relations / continuous
 	// views). Within one tick, queries evaluate in registration order, so a
 	// downstream consumer sees the producer's output for the same instant.
-	e.rels[name] = out
+	e.rels[outName] = out
+	e.producers[outName] = q
+	// A materialized output is durable like a base relation: its events
+	// flow to the WAL so dump→replay→recovery rebuilds it even though
+	// replay re-derives the contents by re-evaluating the producer (see
+	// pems.applyRecoveredEvent, which skips the logged events in favor of
+	// the re-evaluation to avoid double-apply).
+	if opts.Into != "" && e.dur != nil && !out.Ephemeral() {
+		e.dur.AttachRelation(out)
+	}
 	return q, nil
 }
 
@@ -469,17 +593,40 @@ func (e *Executor) RelationNames() []string {
 	return names
 }
 
-// Unregister stops and removes a continuous query.
+// Unregister stops and removes a continuous query along with its derived
+// output relation. It refuses to remove a producer whose output relation a
+// still-registered query reads — silently dropping it would leave every
+// consumer evaluating against a dangling base. Unregister the consumers
+// first.
 func (e *Executor) Unregister(name string) error {
 	e.tickMu.Lock()
 	defer e.tickMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.queries[name]; !ok {
+	q, ok := e.queries[name]
+	if !ok {
 		return fmt.Errorf("cq: unknown query %q", name)
 	}
+	out := q.OutName()
+	var consumers []string
+	for _, other := range e.order {
+		if other == name {
+			continue
+		}
+		for _, dep := range planBaseNames(e.queries[other].plan) {
+			if dep == out {
+				consumers = append(consumers, other)
+				break
+			}
+		}
+	}
+	if len(consumers) > 0 {
+		return fmt.Errorf("cq: cannot unregister query %q: its derived relation %q is read by registered queries [%s] — unregister those first",
+			name, out, strings.Join(consumers, ", "))
+	}
 	delete(e.queries, name)
-	delete(e.rels, name) // drop the derived output relation
+	delete(e.rels, out) // drop the derived output relation
+	delete(e.producers, out)
 	for i, n := range e.order {
 		if n == name {
 			e.order = append(e.order[:i], e.order[i+1:]...)
@@ -508,16 +655,37 @@ func (e *Executor) recordWindows(n query.Node) {
 
 // trimStreams drops stream events that no registered window can reach any
 // more, bounding memory for long-running executions. Events are kept for
-// one extra instant of slack; finite relations and streams without any
-// windowed reader are never trimmed automatically (their full history may
-// still be inspected via At or dumped).
+// one extra instant of slack. Per-relation RETAIN policies add a second
+// horizon: an explicit RETAIN trims the relation (finite or infinite) to
+// its last n instants, and an infinite derived output with no policy
+// falls back to DefaultDerivedRetention so a cascaded stream query
+// holds bounded memory even with no windowed reader. When both a window
+// and a retention apply, the more conservative (least-trimming) horizon
+// wins, so RETAIN never starves a registered window. Base relations
+// without any windowed reader or retention are never trimmed automatically
+// (their full history may still be inspected via At or dumped).
 func (e *Executor) trimStreams(at service.Instant) {
-	for name, period := range e.maxWindow {
-		x, ok := e.rels[name]
-		if !ok || !x.Infinite() {
+	for name, x := range e.rels {
+		var retain service.Instant
+		if q := e.producers[name]; q != nil {
+			retain = q.retain
+			if retain == 0 && x.Infinite() {
+				retain = DefaultDerivedRetention
+			}
+		}
+		period, windowed := e.maxWindow[name]
+		windowed = windowed && x.Infinite() // finite windows read Current, not the log
+		var horizon service.Instant
+		switch {
+		case windowed && retain > 0:
+			horizon = min(at-period-1, at-retain+1)
+		case windowed:
+			horizon = at - period - 1
+		case retain > 0:
+			horizon = at - retain + 1
+		default:
 			continue
 		}
-		horizon := at - period - 1
 		if horizon > 0 {
 			x.TrimBefore(horizon)
 		}
@@ -752,12 +920,15 @@ func (e *Executor) evalTickQueries(order []string, qs []*Query, at service.Insta
 
 // stageQueries groups query indexes into evaluation stages by derived-view
 // dependency depth: stage 0 reads only base relations, stage k reads at
-// least one stage k−1 output. Dependencies always point at earlier
-// registrations, so depths resolve in one forward pass.
+// least one stage k−1 output. The dependency index is keyed by each
+// query's OUTPUT relation name (the INTO target when set) — a consumer
+// reads its producer through that name, not through the producer's query
+// name. Dependencies always point at earlier registrations, so depths
+// resolve in one forward pass.
 func stageQueries(order []string, qs []*Query) [][]int {
-	idxOf := make(map[string]int, len(order))
-	for i, name := range order {
-		idxOf[name] = i
+	idxOf := make(map[string]int, len(qs))
+	for i, q := range qs {
+		idxOf[q.OutName()] = i
 	}
 	depth := make([]int, len(qs))
 	maxDepth := 0
@@ -948,6 +1119,16 @@ func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span, rep
 	}
 	sortTuples(inserted)
 	sortTuples(deleted)
+	if !q.infinite {
+		// Publish this tick's output delta for downstream consumers: the
+		// slices below are exactly what is applied to q.out, so a consumer's
+		// deltaBase can ingest them directly (producerDelta) instead of
+		// re-reading the relation's event log. Recorded on both evaluation
+		// paths — a naive-pinned producer still feeds delta consumers.
+		q.mu.Lock()
+		q.lastDelta = queryDelta{at: at, ins: inserted, del: deleted}
+		q.mu.Unlock()
+	}
 	if q.infinite {
 		// Stream result: the instantaneous relation already IS the emitted
 		// delta (the root streaming operator computed it); append each
@@ -978,6 +1159,31 @@ func (e *Executor) evalQuery(q *Query, at service.Instant, tick *trace.Span, rep
 
 func sortTuples(ts []value.Tuple) {
 	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}
+
+// producerDelta returns the (inserts, deletes) another query applied to
+// its finite output relation this tick — the cascade fast path a
+// consumer's deltaBase takes instead of re-diffing the event log. It is
+// only valid for a steady consecutive-tick step (from == at−1) when the
+// producer itself evaluated at the same instant; any other shape (re-init,
+// clock gap, producer coalesced under overload this instant) reports
+// ok=false and the consumer falls back to the event log.
+func (e *Executor) producerDelta(name string, from, at service.Instant) (ins, del []value.Tuple, ok bool) {
+	if from != at-1 {
+		return nil, nil, false
+	}
+	e.mu.Lock()
+	q := e.producers[name]
+	e.mu.Unlock()
+	if q == nil || q.infinite {
+		return nil, nil, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.lastDelta.at != at {
+		return nil, nil, false
+	}
+	return q.lastDelta.ins, q.lastDelta.del, true
 }
 
 // evaluator computes instantaneous relations for one (query, instant).

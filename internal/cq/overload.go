@@ -94,10 +94,12 @@ func (e *Executor) computeHasActive(q *Query) {
 // active β, directly or transitively. Dependencies always point at earlier
 // registrations, so one reverse pass propagates protection from every
 // active query down to everything it reads.
+// The dependency index is keyed by each query's OUTPUT relation name (the
+// INTO target when set), matching how consumers reference their producers.
 func shedableQueries(order []string, qs []*Query) []bool {
-	idxOf := make(map[string]int, len(order))
-	for i, name := range order {
-		idxOf[name] = i
+	idxOf := make(map[string]int, len(qs))
+	for i, q := range qs {
+		idxOf[q.OutName()] = i
 	}
 	protected := make([]bool, len(qs))
 	for i, q := range qs {

@@ -138,6 +138,7 @@ type Telemetry struct {
 	streams    map[string]*StreamHealth
 	qprev      map[string]queryPrev
 	cadence    map[string]service.Instant
+	mats       map[string]bool // materialized derived relations (INTO targets), snapshotted per scrape
 	lastScrape service.Instant
 
 	// Federation membership feed (nil when the deployment has no peers):
@@ -326,10 +327,17 @@ func (t *Telemetry) scrape(at service.Instant) error {
 	for name, x := range e.rels {
 		rels[name] = x
 	}
+	mats := make(map[string]bool)
+	for name, q := range e.producers {
+		if q.into != "" {
+			mats[name] = true
+		}
+	}
 	e.mu.Unlock()
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.mats = mats
 	t.lastScrape = at
 	if err := t.scrapeMetrics(at); err != nil {
 		return err
@@ -585,12 +593,14 @@ func (t *Telemetry) openBreakerFor(q *Query) (ref, proto string, open bool) {
 }
 
 // scrapeStreams runs dead-man detection over every (non-system) infinite
-// relation and reconciles sys$streams edge-triggered.
+// relation — plus every materialized derived relation, finite or not, so a
+// cadence can be configured on an INTO target whose producer went quiet —
+// and reconciles sys$streams edge-triggered.
 func (t *Telemetry) scrapeStreams(at service.Instant, rels map[string]*stream.XDRelation) error {
 	seen := make(map[string]bool, len(rels))
 	names := make([]string, 0, len(rels))
 	for name, x := range rels {
-		if !x.Infinite() || isSystemName(name) {
+		if (!x.Infinite() && !t.mats[name]) || isSystemName(name) {
 			continue
 		}
 		names = append(names, name)
@@ -644,7 +654,7 @@ func (t *Telemetry) scrapeStreams(at service.Instant, rels map[string]*stream.XD
 // for the stall comparison such a stream counts as infinitely late.
 func (t *Telemetry) streamStalled(at service.Instant, name string, rels map[string]*stream.XDRelation) (bool, int64) {
 	x := rels[name]
-	if x == nil || !x.Infinite() {
+	if x == nil || (!x.Infinite() && !t.mats[name]) {
 		return false, 0
 	}
 	last := x.LastInstant()

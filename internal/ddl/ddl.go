@@ -115,17 +115,24 @@ func (*Drop) stmt() {}
 //	REGISTER QUERY means  ON ERROR NULL
 //	                      AS SELECT location, mean(temperature) AS avg
 //	                         FROM temperatures[5] GROUP BY location;
+//	REGISTER QUERY rollup INTO climate RETAIN 64 INSTANTS
+//	                      AS aggregate[location; mean(temperature) as avg](
+//	                         window[5](temperatures));
 //
 // The query body (Serena Algebra Language or Serena SQL) is captured up to
 // the terminating ';' and compiled by the PEMS query processor — the
 // catalog itself rejects it (queries are not tables). The optional ON ERROR
 // clause picks the β degradation policy (FAIL, SKIP, or NULL) applied when
 // a bound service fails mid-query; omitted, the executor's continuous
-// default (SKIP) applies.
+// default (SKIP) applies. The optional INTO clause materializes the query's
+// output as a named derived XD-Relation other queries can read; RETAIN
+// bounds how many instants of its event log are kept.
 type RegisterQuery struct {
 	Name    string
 	Source  string
 	OnError string // "", "FAIL", "SKIP", or "NULL"
+	Into    string // materialized output relation name ("" = none)
+	Retain  int    // retention in instants (0 = engine default)
 }
 
 func (*RegisterQuery) stmt() {}
@@ -278,7 +285,8 @@ func (p *parser) explain() (Statement, error) {
 	return st, nil
 }
 
-// registerQuery := QUERY name [ON ERROR (FAIL|SKIP|NULL)] AS <tokens until ';'>
+// registerQuery := QUERY name [ON ERROR (FAIL|SKIP|NULL)]
+//	[INTO relname [RETAIN n INSTANTS]] AS <tokens until ';'>
 func (p *parser) registerQuery() (Statement, error) {
 	if err := p.expectKeyword("QUERY"); err != nil {
 		return nil, err
@@ -306,6 +314,43 @@ func (p *parser) registerQuery() (Statement, error) {
 			st.OnError = strings.ToUpper(ptok.Text)
 		default:
 			return nil, p.errf(ptok, "expected FAIL, SKIP or NULL after ON ERROR, got %s", ptok)
+		}
+		tok, err = p.lx.Peek()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if tok.IsKeyword("INTO") {
+		_, _ = p.next()
+		intoTok, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if intoTok.Kind != lexer.Ident {
+			return nil, p.errf(intoTok, "expected relation name after INTO, got %s", intoTok)
+		}
+		if strings.HasPrefix(intoTok.Text, "sys$") {
+			return nil, p.errf(intoTok, "INTO target %q: the sys$ prefix is reserved for system relations", intoTok.Text)
+		}
+		st.Into = intoTok.Text
+		peek, err := p.lx.Peek()
+		if err != nil {
+			return nil, err
+		}
+		if peek.IsKeyword("RETAIN") {
+			_, _ = p.next()
+			numTok, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			n, convErr := strconv.Atoi(numTok.Text)
+			if numTok.Kind != lexer.Number || convErr != nil || n < 1 {
+				return nil, p.errf(numTok, "expected positive instant count after RETAIN, got %s", numTok)
+			}
+			st.Retain = n
+			if err := p.expectKeyword("INSTANTS"); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if err := p.expectKeyword("AS"); err != nil {

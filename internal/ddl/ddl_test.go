@@ -327,6 +327,47 @@ func TestRegisterQueryOnError(t *testing.T) {
 	}
 }
 
+func TestRegisterQueryInto(t *testing.T) {
+	for _, tc := range []struct {
+		src    string
+		into   string
+		retain int
+		onErr  string
+	}{
+		{`REGISTER QUERY q AS select[true](r);`, "", 0, ""},
+		{`REGISTER QUERY q INTO hot AS select[true](r);`, "hot", 0, ""},
+		{`REGISTER QUERY q INTO hot RETAIN 32 INSTANTS AS select[true](r);`, "hot", 32, ""},
+		{`REGISTER QUERY q ON ERROR SKIP INTO hot RETAIN 1 INSTANTS AS select[true](r);`, "hot", 1, "SKIP"},
+		{`REGISTER QUERY q into Hot retain 7 instants AS select[true](r);`, "Hot", 7, ""},
+	} {
+		st, err := ddl.ParseOne(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		rq := st.(*ddl.RegisterQuery)
+		if rq.Into != tc.into || rq.Retain != tc.retain || rq.OnError != tc.onErr {
+			t.Errorf("%s: Into=%q Retain=%d OnError=%q, want %q/%d/%q",
+				tc.src, rq.Into, rq.Retain, rq.OnError, tc.into, tc.retain, tc.onErr)
+		}
+		if !strings.Contains(rq.Source, "select") {
+			t.Errorf("%s: body lost: %q", tc.src, rq.Source)
+		}
+	}
+	for _, src := range []string{
+		`REGISTER QUERY q INTO AS select[true](r);`,                       // missing target name
+		`REGISTER QUERY q INTO sys$mat AS select[true](r);`,               // reserved prefix
+		`REGISTER QUERY q INTO hot RETAIN 0 INSTANTS AS select[true](r);`, // zero retention
+		`REGISTER QUERY q INTO hot RETAIN -3 INSTANTS AS select[true](r);`,
+		`REGISTER QUERY q INTO hot RETAIN many INSTANTS AS select[true](r);`,
+		`REGISTER QUERY q INTO hot RETAIN 5 AS select[true](r);`, // missing INSTANTS
+		`REGISTER QUERY q RETAIN 5 INSTANTS AS select[true](r);`, // RETAIN without INTO
+	} {
+		if _, err := ddl.ParseOne(src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}
+
 func TestOnOverloadClause(t *testing.T) {
 	// Bare form, no binding patterns.
 	st, err := ddl.ParseOne(`EXTENDED STREAM readings (

@@ -54,6 +54,13 @@ const (
 	// logs and still match the never-crashed control bit-for-bit.
 	crashDigestQ = `aggregate[count(*) as total, min(published) as first, max(published) as latest by feed](
 		join(project[feed](window[2](news)), window[3600](news)))`
+	// rollup materializes its matches INTO a named derived relation that a
+	// second query then reads as a base — the cascade must recover to
+	// control-equal contents even when kills land between the producer's
+	// tick and the consumer's.
+	crashRollupDDL = `REGISTER QUERY rollup INTO obamamat RETAIN 64 INSTANTS
+		AS select[title contains "Obama"](window[3600](news));`
+	crashReaderQ = `project[title](obamamat)`
 )
 
 // fileMessenger implements sendMessage by appending one line per physical
@@ -129,6 +136,12 @@ func buildCrashEnv(dir, side string) (*pems.PEMS, wal.Info, error) {
 		if _, err := p.RegisterQuery("digest", crashDigestQ, false); err != nil {
 			return nil, wal.Info{}, err
 		}
+		if err := p.ExecuteDDL(crashRollupDDL); err != nil {
+			return nil, wal.Info{}, err
+		}
+		if _, err := p.RegisterQuery("mreader", crashReaderQ, false); err != nil {
+			return nil, wal.Info{}, err
+		}
 	}
 	return p, info, nil
 }
@@ -167,6 +180,12 @@ func controlEnv(t *testing.T, side string) *pems.PEMS {
 		t.Fatal(err)
 	}
 	if _, err := p.RegisterQuery("digest", crashDigestQ, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ExecuteDDL(crashRollupDDL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterQuery("mreader", crashReaderQ, false); err != nil {
 		t.Fatal(err)
 	}
 	return p
@@ -309,6 +328,40 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	}
 	if d, _ := digR.EvalCounts(); d == 0 {
 		t.Error("recovered digest never took a delta tick")
+	}
+
+	// The materialized cascade: the INTO relation itself must recover to the
+	// control's exact contents (replay re-derives it from the producer; the
+	// logged events for it are skipped, so nothing double-applies), and the
+	// consumer reading it as a base must agree too.
+	rollR, ok := p.Executor().Query("rollup")
+	if !ok {
+		t.Fatal("rollup query lost across crashes")
+	}
+	if rollR.Into() != "obamamat" || rollR.Retain() != 64 {
+		t.Errorf("rollup INTO/RETAIN lost: into=%q retain=%d", rollR.Into(), rollR.Retain())
+	}
+	rollC, _ := ctl.Executor().Query("rollup")
+	if !rollR.LastResult().EqualContents(rollC.LastResult()) {
+		t.Errorf("rollup at instant %d: recovered result differs from control\n recovered: %s\n control:   %s",
+			target, rollR.LastResult(), rollC.LastResult())
+	}
+	matR, ok := p.Executor().Relation("obamamat")
+	if !ok {
+		t.Fatal("materialized relation lost across crashes")
+	}
+	matC, _ := ctl.Executor().Relation("obamamat")
+	if got, want := len(matR.Current()), len(matC.Current()); got != want {
+		t.Errorf("obamamat: recovered %d rows, control has %d", got, want)
+	}
+	mrdR, ok := p.Executor().Query("mreader")
+	if !ok {
+		t.Fatal("mreader query lost across crashes")
+	}
+	mrdC, _ := ctl.Executor().Query("mreader")
+	if !mrdR.LastResult().EqualContents(mrdC.LastResult()) {
+		t.Errorf("mreader at instant %d: recovered result differs from control\n recovered: %s\n control:   %s",
+			target, mrdR.LastResult(), mrdC.LastResult())
 	}
 
 	// The effectful-once guarantee: across all lives, no (address, text)

@@ -121,7 +121,7 @@ func (p *PEMS) restoreCheckpoint(catalogDDL string, st *cq.CheckpointState) erro
 		}
 	}
 	for _, qs := range st.Queries {
-		if err := p.recoverQuery(qs.Name, qs.Source, qs.OnError); err != nil {
+		if err := p.recoverQuery(qs.Name, qs.Source, qs.OnError, qs.Into, qs.Retain); err != nil {
 			return fmt.Errorf("pems: checkpoint query %s: %w", qs.Name, err)
 		}
 	}
@@ -155,12 +155,12 @@ func (p *PEMS) restoreStatement(s ddl.Statement, at service.Instant) error {
 // The source is the POST-optimization plan, registered verbatim (no second
 // optimizer pass): node indices in the invocation cache and the active-β
 // ledger are positions in that exact plan.
-func (p *PEMS) recoverQuery(name, source, onError string) error {
+func (p *PEMS) recoverQuery(name, source, onError, into string, retain service.Instant) error {
 	n, err := sal.Parse(source)
 	if err != nil {
 		return fmt.Errorf("parsing logged plan: %w", err)
 	}
-	if _, err := p.exec.Register(name, n); err != nil {
+	if _, err := p.exec.RegisterWith(name, n, cq.RegisterOptions{Into: into, Retain: retain}); err != nil {
 		return err
 	}
 	if onError != "" {
@@ -184,7 +184,7 @@ func (p *PEMS) applyRecoveredDDL(text string, at service.Instant) error {
 	for _, s := range stmts {
 		switch t := s.(type) {
 		case *ddl.RegisterQuery:
-			if err := p.recoverQuery(t.Name, t.Source, t.OnError); err != nil {
+			if err := p.recoverQuery(t.Name, t.Source, t.OnError, t.Into, service.Instant(t.Retain)); err != nil {
 				return fmt.Errorf("pems: recovered query %s: %w", t.Name, err)
 			}
 		case *ddl.UnregisterQuery:
@@ -201,7 +201,14 @@ func (p *PEMS) applyRecoveredDDL(text string, at service.Instant) error {
 }
 
 // applyRecoveredEvent re-applies one logged base-relation event.
+// Events logged for materialized derived relations (INTO targets) are
+// skipped: tail replay re-evaluates the producer query at each logged tick,
+// which re-derives those contents — applying the logged events too would
+// double-apply every insert and delete.
 func (p *PEMS) applyRecoveredEvent(rel string, kind stream.EventKind, at service.Instant, t value.Tuple) error {
+	if p.exec.Materialized(rel) {
+		return nil
+	}
 	x, ok := p.exec.Relation(rel)
 	if !ok {
 		return fmt.Errorf("pems: recovered event for unknown relation %q", rel)
@@ -270,7 +277,14 @@ func (p *PEMS) logQueryDDL(q *cq.Query) {
 	if pol := q.Degradation(); pol != resilience.Default {
 		onErr = " ON ERROR " + pol.String()
 	}
-	text := fmt.Sprintf("REGISTER QUERY %s%s AS %s;", q.Name(), onErr, q.Plan().String())
+	var into string
+	if q.Into() != "" {
+		into = " INTO " + q.Into()
+		if q.Retain() > 0 {
+			into += fmt.Sprintf(" RETAIN %d INSTANTS", q.Retain())
+		}
+	}
+	text := fmt.Sprintf("REGISTER QUERY %s%s%s AS %s;", q.Name(), onErr, into, q.Plan().String())
 	if err := m.AppendDDL(text, p.exec.Now()+1); err != nil {
 		slog.Warn("pems: wal ddl append failed", "query", q.Name(), "err", err.Error())
 	}

@@ -222,6 +222,95 @@ func TestDurableDDLTailReplay(t *testing.T) {
 	}
 }
 
+// TestDurableMaterializedIntoRoundTrip: a REGISTER QUERY … INTO … RETAIN
+// declaration survives both recovery paths — WAL tail replay after a crash
+// and checkpoint restore after a clean shutdown — with the materialized
+// relation's contents re-derived, the retention policy intact, and the
+// consumer guard still enforced afterwards.
+func TestDurableMaterializedIntoRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p1, sensors1, _, _ := durableScenario(t, dir)
+	if err := p1.ExecuteDDL(`REGISTER QUERY rollup INTO hotzones RETAIN 8 INSTANTS AS
+		select[temperature > 25.0](window[2](temperatures));`); err != nil {
+		t.Fatal(err)
+	}
+	sensors1["sensor06"].Heat(device.HeatEvent{From: 2, To: 30, Delta: 10})
+	if err := p1.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	x1, ok := p1.Executor().Relation("hotzones")
+	if !ok {
+		t.Fatal("INTO relation missing before crash")
+	}
+	want := len(x1.Current())
+	if want == 0 {
+		t.Fatal("materialized relation empty before crash")
+	}
+	// Crash without Close: the registration and every derived event live in
+	// the WAL tail.
+
+	p2, sensors2, _, info := durableScenario(t, dir)
+	if info.Fresh {
+		t.Fatal("expected recovery, got fresh start")
+	}
+	q2, ok := p2.Executor().Query("rollup")
+	if !ok {
+		t.Fatal("rollup query not replayed")
+	}
+	if q2.Into() != "hotzones" || q2.Retain() != 8 {
+		t.Fatalf("INTO/RETAIN lost in tail replay: into=%q retain=%d", q2.Into(), q2.Retain())
+	}
+	x2, ok := p2.Executor().Relation("hotzones")
+	if !ok {
+		t.Fatal("INTO relation not recovered")
+	}
+	if got := len(x2.Current()); got != want {
+		t.Fatalf("recovered hotzones = %d rows, want %d", got, want)
+	}
+	// Keep the heat on and tick across the checkpoint boundary, then shut
+	// down cleanly so the second restart restores from the checkpoint alone.
+	sensors2["sensor06"].Heat(device.HeatEvent{From: 2, To: 30, Delta: 10})
+	if err := p2.RunUntil(9); err != nil {
+		t.Fatal(err)
+	}
+	want2 := len(x2.Current())
+	p2.Close()
+
+	p3, _, _, info3 := durableScenario(t, dir)
+	defer p3.Close()
+	if info3.Fresh || !info3.HadCheckpoint || info3.Records != 0 {
+		t.Fatalf("restart after clean shutdown: info = %+v", info3)
+	}
+	q3, ok := p3.Executor().Query("rollup")
+	if !ok {
+		t.Fatal("rollup query not in checkpoint")
+	}
+	if q3.Into() != "hotzones" || q3.Retain() != 8 {
+		t.Fatalf("INTO/RETAIN lost in checkpoint: into=%q retain=%d", q3.Into(), q3.Retain())
+	}
+	x3, ok := p3.Executor().Relation("hotzones")
+	if !ok {
+		t.Fatal("INTO relation not in checkpoint")
+	}
+	if got := len(x3.Current()); got != want2 {
+		t.Fatalf("checkpointed hotzones = %d rows, want %d", got, want2)
+	}
+	// The lifecycle guard survives recovery: a consumer over the recovered
+	// materialized relation pins its producer.
+	if _, err := p3.RegisterQuery("reader", `project[location](hotzones)`, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.UnregisterQuery("rollup"); err == nil {
+		t.Fatal("unregistering a recovered producer with a consumer must fail")
+	}
+	if err := p3.UnregisterQuery("reader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.UnregisterQuery("rollup"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestDurableDiscoveryRecovery is the discovery × recovery interaction: a
 // service whose lease expired while the system was down is restored from
 // the log (its row was real at crash time) but must be withdrawn — not

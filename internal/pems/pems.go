@@ -222,11 +222,12 @@ func (p *PEMS) ExecuteDDL(src string) error {
 	for i, st := range stmts {
 		switch t := st.(type) {
 		case *ddl.RegisterQuery:
+			opts := cq.RegisterOptions{Into: t.Into, Retain: service.Instant(t.Retain)}
 			var q *cq.Query
 			if LooksLikeSQL(t.Source) {
-				q, err = p.registerQuerySQL(t.Name, t.Source, true)
+				q, err = p.registerQuerySQL(t.Name, t.Source, true, opts)
 			} else {
-				q, err = p.registerQuery(t.Name, t.Source, true)
+				q, err = p.registerQuery(t.Name, t.Source, true, opts)
 			}
 			if err == nil && t.OnError != "" {
 				var policy resilience.DegradationPolicy
@@ -295,14 +296,14 @@ func (p *PEMS) OneShotSQL(src string) (*query.Result, error) {
 // continuous query, optionally running the optimizer over the compiled
 // plan.
 func (p *PEMS) RegisterQuerySQL(name, src string, optimize bool) (*cq.Query, error) {
-	q, err := p.registerQuerySQL(name, src, optimize)
+	q, err := p.registerQuerySQL(name, src, optimize, cq.RegisterOptions{})
 	if err == nil {
 		p.logQueryDDL(q)
 	}
 	return q, err
 }
 
-func (p *PEMS) registerQuerySQL(name, src string, optimize bool) (*cq.Query, error) {
+func (p *PEMS) registerQuerySQL(name, src string, optimize bool, opts cq.RegisterOptions) (*cq.Query, error) {
 	env := p.snapshotEnv()
 	st, err := ssql.Compile(src, env)
 	if err != nil {
@@ -315,21 +316,42 @@ func (p *PEMS) registerQuerySQL(name, src string, optimize bool) (*cq.Query, err
 			n = plan.Root
 		}
 	}
-	return p.exec.Register(name, n)
+	return p.exec.RegisterWith(name, n, opts)
 }
 
 // RegisterQuery parses a SAL query, optionally optimizes it (Table 5
 // rewrites under the invocation-dominant cost model) and registers it as a
 // continuous query.
 func (p *PEMS) RegisterQuery(name, src string, optimize bool) (*cq.Query, error) {
-	q, err := p.registerQuery(name, src, optimize)
+	q, err := p.registerQuery(name, src, optimize, cq.RegisterOptions{})
 	if err == nil {
 		p.logQueryDDL(q)
 	}
 	return q, err
 }
 
-func (p *PEMS) registerQuery(name, src string, optimize bool) (*cq.Query, error) {
+// RegisterQueryWith is RegisterQuery plus the INTO/RETAIN clauses: the
+// query's output is materialized as a named derived XD-Relation (durable
+// like a base relation in WAL-backed environments) with an optional
+// per-relation retention horizon. SQL sources are auto-detected like in
+// ExecuteDDL.
+func (p *PEMS) RegisterQueryWith(name, src string, optimize bool, opts cq.RegisterOptions) (*cq.Query, error) {
+	var (
+		q   *cq.Query
+		err error
+	)
+	if LooksLikeSQL(src) {
+		q, err = p.registerQuerySQL(name, src, optimize, opts)
+	} else {
+		q, err = p.registerQuery(name, src, optimize, opts)
+	}
+	if err == nil {
+		p.logQueryDDL(q)
+	}
+	return q, err
+}
+
+func (p *PEMS) registerQuery(name, src string, optimize bool, opts cq.RegisterOptions) (*cq.Query, error) {
 	n, err := sal.Parse(src)
 	if err != nil {
 		return nil, err
@@ -344,7 +366,7 @@ func (p *PEMS) registerQuery(name, src string, optimize bool) (*cq.Query, error)
 		// Optimization failures (e.g. missing statistics) fall back to the
 		// unoptimized plan — never block registration.
 	}
-	return p.exec.Register(name, n)
+	return p.exec.RegisterWith(name, n, opts)
 }
 
 // Explanation reports how a query would be planned: the original and

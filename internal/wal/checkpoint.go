@@ -61,6 +61,8 @@ func encodeCheckpoint(c *Checkpoint) []byte {
 		e.str(qs.Name)
 		e.str(qs.Source)
 		e.str(qs.OnError)
+		e.str(qs.Into)
+		e.varint(int64(qs.Retain))
 		e.rows(qs.PrevOutput)
 		e.uvarint(uint64(len(qs.InvCache)))
 		for _, ce := range qs.InvCache {
@@ -122,6 +124,8 @@ func decodeCheckpoint(payload []byte) (*Checkpoint, error) {
 		qs.Name = d.str()
 		qs.Source = d.str()
 		qs.OnError = d.str()
+		qs.Into = d.str()
+		qs.Retain = service.Instant(d.varint())
 		qs.PrevOutput = d.rows()
 		nc := d.count(1)
 		for j := 0; j < nc && d.err == nil; j++ {

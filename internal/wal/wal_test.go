@@ -388,6 +388,8 @@ func testState() cq.CheckpointState {
 			Name:       "q",
 			Source:     "invoke[bp](nums)",
 			OnError:    "SKIP",
+			Into:       "out_q",
+			Retain:     16,
 			PrevOutput: []value.Tuple{in},
 			InvCache: []cq.InvCacheEntry{
 				{Node: 0, Key: "bp|ref|" + in.Key(), Rows: []value.Tuple{{value.NewInt(3)}}},
